@@ -1,0 +1,469 @@
+// Benchmarks regenerating the paper's evaluation artifacts. One benchmark
+// per table and figure, plus the ablation studies DESIGN.md calls out.
+//
+// The figure benchmarks run reduced sweeps (two load points, two VL counts)
+// so a default `go test -bench=.` completes in minutes; cmd/ibsweep runs the
+// full-fidelity sweeps. Each figure benchmark reports, via b.ReportMetric:
+//
+//	mlid_peak_Bns / slid_peak_Bns — peak accepted traffic per scheme
+//	mlid_over_slid               — the throughput ratio behind the paper's
+//	                               Observations 1, 3 and 5
+package mlid_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mlid"
+)
+
+// benchFigure runs a reduced version of one evaluation figure.
+func benchFigure(b *testing.B, id string) {
+	spec, err := mlid.EvalFigureByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Reduce cost: two loads spanning the knee, the 1-VL and 4-VL curves,
+	// shorter windows. Shapes (who wins, by what factor) are preserved.
+	spec.Loads = []float64{0.3, 0.7}
+	spec.VLs = []int{1, 4}
+	spec.WarmupNs = 20_000
+	spec.MeasureNs = 60_000
+
+	var fig mlid.EvalFigure
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err = spec.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	m := fig.Curve("MLID 1VL").PeakAccepted()
+	s := fig.Curve("SLID 1VL").PeakAccepted()
+	b.ReportMetric(m, "mlid_peak_Bns")
+	b.ReportMetric(s, "slid_peak_Bns")
+	if s > 0 {
+		b.ReportMetric(m/s, "mlid_over_slid")
+	}
+}
+
+// BenchmarkFigUniform regenerates figures F1..F4: latency vs accepted
+// traffic under uniform traffic on the four evaluation networks.
+func BenchmarkFigUniform(b *testing.B) {
+	for i, nw := range mlid.EvalNetworks() {
+		b.Run(fmt.Sprintf("%s", nw), func(b *testing.B) {
+			benchFigure(b, fmt.Sprintf("F%d", i+1))
+		})
+	}
+}
+
+// BenchmarkFigCentric regenerates figures F5..F8: the 50%-centric hotspot
+// pattern on the four evaluation networks.
+func BenchmarkFigCentric(b *testing.B) {
+	for i, nw := range mlid.EvalNetworks() {
+		b.Run(fmt.Sprintf("%s", nw), func(b *testing.B) {
+			benchFigure(b, fmt.Sprintf("F%d", i+5))
+		})
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (network configurations and MLID
+// addressing parameters).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := mlid.EvalTable1(mlid.EvalNetworks())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkSubnetConfigure measures the subnet manager bring-up (discovery,
+// LID assignment, forwarding-table computation) per scheme and network.
+func BenchmarkSubnetConfigure(b *testing.B) {
+	for _, nw := range mlid.EvalNetworks() {
+		tree, err := mlid.NewTree(nw.M, nw.N)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range mlid.Schemes() {
+			b.Run(fmt.Sprintf("%s/%s", nw, s.Name()), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := mlid.Configure(tree, s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTrace measures per-route path resolution.
+func BenchmarkTrace(b *testing.B) {
+	tree, _ := mlid.NewTree(16, 2)
+	for _, s := range mlid.Schemes() {
+		b.Run(s.Name(), func(b *testing.B) {
+			n := tree.Nodes()
+			for i := 0; i < b.N; i++ {
+				src := mlid.NodeID(i % n)
+				dst := mlid.NodeID((i*7 + 1) % n)
+				if src == dst {
+					dst = (dst + 1) % mlid.NodeID(n)
+				}
+				if _, err := mlid.Trace(tree, s, src, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLinkLoad measures the static analysis on the all-to-one matrix
+// (experiment EX-D).
+func BenchmarkLinkLoad(b *testing.B) {
+	tree, _ := mlid.NewTree(8, 3)
+	flows := mlid.AllToOne(tree, 0)
+	for _, s := range mlid.Schemes() {
+		b.Run(s.Name(), func(b *testing.B) {
+			var maxLoad float64
+			for i := 0; i < b.N; i++ {
+				rep, err := mlid.LinkLoad(tree, s, flows)
+				if err != nil {
+					b.Fatal(err)
+				}
+				maxLoad = rep.Max
+			}
+			b.ReportMetric(maxLoad, "max_link_load")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw event-processing speed of the
+// discrete-event engine on a mid-size network at high load.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	tree, _ := mlid.NewTree(8, 3)
+	sn, err := mlid.Configure(tree, mlid.MLID())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		res, err := mlid.Simulate(mlid.SimConfig{
+			Subnet:      sn,
+			Pattern:     mlid.UniformTraffic(tree.Nodes()),
+			OfferedLoad: 0.6,
+			WarmupNs:    10_000,
+			MeasureNs:   50_000,
+			Seed:        int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkAblationVL8 extends the paper's VL sweep beyond 4 lanes
+// (experiment EX-A): does an 8th lane still help SLID under the hotspot?
+func BenchmarkAblationVL8(b *testing.B) {
+	tree, _ := mlid.NewTree(8, 2)
+	for _, vls := range []int{4, 8} {
+		for _, s := range mlid.Schemes() {
+			sn, err := mlid.Configure(tree, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/VL%d", s.Name(), vls), func(b *testing.B) {
+				var acc float64
+				for i := 0; i < b.N; i++ {
+					res, err := mlid.Simulate(mlid.SimConfig{
+						Subnet:      sn,
+						Pattern:     mlid.CentricTraffic(tree.Nodes(), 0, 0.5),
+						DataVLs:     vls,
+						OfferedLoad: 0.6,
+						WarmupNs:    20_000,
+						MeasureNs:   60_000,
+						Seed:        9,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					acc = res.Accepted
+				}
+				b.ReportMetric(acc, "accepted_Bns")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationBuffers varies the per-VL buffer depth (EX-B).
+func BenchmarkAblationBuffers(b *testing.B) {
+	tree, _ := mlid.NewTree(8, 2)
+	sn, err := mlid.Configure(tree, mlid.MLID())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, buf := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("buf%d", buf), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				res, err := mlid.Simulate(mlid.SimConfig{
+					Subnet:      sn,
+					Pattern:     mlid.CentricTraffic(tree.Nodes(), 0, 0.5),
+					BufPackets:  buf,
+					OfferedLoad: 0.6,
+					WarmupNs:    20_000,
+					MeasureNs:   60_000,
+					Seed:        10,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res.Accepted
+			}
+			b.ReportMetric(acc, "accepted_Bns")
+		})
+	}
+}
+
+// BenchmarkAblationPacketSize varies the packet size (EX-C).
+func BenchmarkAblationPacketSize(b *testing.B) {
+	tree, _ := mlid.NewTree(8, 2)
+	sn, err := mlid.Configure(tree, mlid.MLID())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				res, err := mlid.Simulate(mlid.SimConfig{
+					Subnet:      sn,
+					Pattern:     mlid.UniformTraffic(tree.Nodes()),
+					PacketSize:  size,
+					OfferedLoad: 0.3,
+					WarmupNs:    20_000,
+					MeasureNs:   60_000,
+					Seed:        11,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lat = res.MeanLatencyNs
+			}
+			b.ReportMetric(lat, "mean_latency_ns")
+		})
+	}
+}
+
+// BenchmarkAblationReception contrasts the two endnode consumption models
+// under the hotspot (see DESIGN.md, "Reception model").
+func BenchmarkAblationReception(b *testing.B) {
+	tree, _ := mlid.NewTree(8, 2)
+	for _, rec := range []struct {
+		name string
+		m    mlid.ReceptionModel
+	}{{"ideal", mlid.ReceptionIdeal}, {"link", mlid.ReceptionLink}} {
+		for _, s := range mlid.Schemes() {
+			sn, err := mlid.Configure(tree, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/%s", rec.name, s.Name()), func(b *testing.B) {
+				var acc float64
+				for i := 0; i < b.N; i++ {
+					res, err := mlid.Simulate(mlid.SimConfig{
+						Subnet:      sn,
+						Pattern:     mlid.CentricTraffic(tree.Nodes(), 0, 0.5),
+						OfferedLoad: 0.5,
+						Reception:   rec.m,
+						WarmupNs:    20_000,
+						MeasureNs:   60_000,
+						Seed:        12,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					acc = res.Accepted
+				}
+				b.ReportMetric(acc, "accepted_Bns")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationPathSelect contrasts the paper's rank-based path
+// selection against an oblivious per-packet random offset, on a permutation
+// where rank selection is perfectly regular.
+func BenchmarkAblationPathSelect(b *testing.B) {
+	tree, _ := mlid.NewTree(8, 3)
+	sn, err := mlid.Configure(tree, mlid.MLID())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat, err := mlid.PatternByName("bitcomplement", tree.Nodes(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pol := range []struct {
+		name string
+		p    mlid.PathSelectPolicy
+	}{{"rank", mlid.PathSelectRank}, {"random", mlid.PathSelectRandom}} {
+		b.Run(pol.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				res, err := mlid.Simulate(mlid.SimConfig{
+					Subnet:      sn,
+					Pattern:     pat,
+					OfferedLoad: 0.7,
+					PathSelect:  pol.p,
+					WarmupNs:    20_000,
+					MeasureNs:   60_000,
+					Seed:        13,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res.Accepted
+			}
+			b.ReportMetric(acc, "accepted_Bns")
+		})
+	}
+}
+
+// BenchmarkAblationVLPolicy contrasts round-robin VL distribution with the
+// destination-pinned DLID mapping under the hotspot, per scheme.
+func BenchmarkAblationVLPolicy(b *testing.B) {
+	tree, _ := mlid.NewTree(16, 2)
+	for _, pol := range []struct {
+		name string
+		p    mlid.VLPolicy
+	}{{"roundrobin", mlid.VLRoundRobin}, {"bydlid", mlid.VLByDLID}} {
+		for _, s := range mlid.Schemes() {
+			sn, err := mlid.Configure(tree, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/%s", pol.name, s.Name()), func(b *testing.B) {
+				var acc float64
+				for i := 0; i < b.N; i++ {
+					res, err := mlid.Simulate(mlid.SimConfig{
+						Subnet:      sn,
+						Pattern:     mlid.CentricTraffic(tree.Nodes(), 0, 0.5),
+						DataVLs:     2,
+						VLSelect:    pol.p,
+						OfferedLoad: 0.5,
+						WarmupNs:    20_000,
+						MeasureNs:   60_000,
+						Seed:        14,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					acc = res.Accepted
+				}
+				b.ReportMetric(acc, "accepted_Bns")
+			})
+		}
+	}
+}
+
+// BenchmarkRepairSubnet measures switch-level forwarding-table repair.
+func BenchmarkRepairSubnet(b *testing.B) {
+	tree, _ := mlid.NewTree(8, 3)
+	faults := mlid.NewFaultSet()
+	leaf, _ := tree.NodeAttachment(0)
+	faults.FailLink(tree, leaf, tree.H())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sn, err := mlid.Configure(tree, mlid.MLID())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, _, err := mlid.RepairSubnet(sn, faults); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchGather measures the all-to-one collective's makespan per
+// scheme — the paper's congestion scenario as a closed workload.
+func BenchmarkBatchGather(b *testing.B) {
+	tree, _ := mlid.NewTree(8, 2)
+	for _, s := range mlid.Schemes() {
+		sn, err := mlid.Configure(tree, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(s.Name(), func(b *testing.B) {
+			var makespan int64
+			for i := 0; i < b.N; i++ {
+				res, err := mlid.SimulateBatch(mlid.BatchConfig{
+					Subnet:   sn,
+					Messages: mlid.GatherMessages(tree, 0, 4096),
+					Seed:     1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = res.MakespanNs
+			}
+			b.ReportMetric(float64(makespan), "makespan_ns")
+		})
+	}
+}
+
+// BenchmarkBatchAllToAll measures the personalized exchange's makespan.
+func BenchmarkBatchAllToAll(b *testing.B) {
+	tree, _ := mlid.NewTree(8, 2)
+	for _, s := range mlid.Schemes() {
+		sn, err := mlid.Configure(tree, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(s.Name(), func(b *testing.B) {
+			var makespan int64
+			for i := 0; i < b.N; i++ {
+				res, err := mlid.SimulateBatch(mlid.BatchConfig{
+					Subnet:   sn,
+					Messages: mlid.AllToAllMessages(tree, 1024),
+					Seed:     1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = res.MakespanNs
+			}
+			b.ReportMetric(float64(makespan), "makespan_ns")
+		})
+	}
+}
+
+// BenchmarkFaultReroute measures LMC-multipath failover path selection under
+// injected faults (experiment EX-E).
+func BenchmarkFaultReroute(b *testing.B) {
+	tree, _ := mlid.NewTree(8, 3)
+	faults := mlid.NewFaultSet()
+	// Fail the canonical first ascending hop of node 0 -> far node.
+	far := mlid.NodeID(tree.Nodes() - 1)
+	p, err := mlid.Trace(tree, mlid.MLID(), 0, far)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults.FailLink(tree, p.Hops[0].Switch, p.Hops[0].OutPort)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := mlid.SelectDLID(tree, mlid.MLID(), 0, far, faults); !ok {
+			b.Fatal("no surviving path")
+		}
+	}
+}

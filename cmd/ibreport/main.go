@@ -1,0 +1,77 @@
+// Command ibreport runs the paper's evaluation figures and emits a markdown
+// reproduction report: Table 1, every curve's peak accepted traffic and
+// low-load latency, and pass/fail verdicts for the paper's Observations 1-5.
+//
+// Examples:
+//
+//	ibreport -quick                 # reduced sweeps (~a minute), stdout
+//	ibreport -o EXPERIMENTS-new.md  # full-fidelity sweeps, write to file
+//	ibreport -quick -only centric   # only the centric figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlid/internal/experiment"
+)
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "reduced load points and windows")
+		out       = flag.String("o", "", "write the report to this file instead of stdout")
+		only      = flag.String("only", "", "restrict to one pattern: uniform or centric")
+		ablations = flag.Bool("ablations", false, "append the ablation suite (EX-A..H, switching)")
+		studies   = flag.Bool("studies", false, "append the scaling and SM bring-up studies")
+	)
+	flag.Parse()
+
+	specs := experiment.Figures()
+	if *quick {
+		specs = experiment.QuickFigures()
+	}
+	var figs []experiment.Figure
+	for _, spec := range specs {
+		if *only != "" && spec.Pattern != *only {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "ibreport: running %s ...\n", spec.Title())
+		fig, err := spec.Run()
+		fatal(err)
+		figs = append(figs, fig)
+	}
+	obs := experiment.CheckObservations(figs)
+	report, err := experiment.Report(figs, obs)
+	fatal(err)
+	if *ablations {
+		fmt.Fprintln(os.Stderr, "ibreport: running ablation suite ...")
+		rows, err := experiment.RunAblations(*quick)
+		fatal(err)
+		report += "\n## Ablations\n\n" + experiment.AblationTable(rows)
+	}
+	if *studies {
+		fmt.Fprintln(os.Stderr, "ibreport: running scaling study ...")
+		sc, err := experiment.ScalingStudy(experiment.PaperNetworks(), *quick)
+		fatal(err)
+		report += "\n## Scaling (Observation 5 / Remark 3)\n\n" + experiment.FormatScaling(sc)
+		fmt.Fprintln(os.Stderr, "ibreport: running bring-up study ...")
+		br, err := experiment.BringupStudy(experiment.PaperNetworks())
+		fatal(err)
+		report += "\n## Subnet-manager bring-up cost\n\n" + experiment.FormatBringup(br)
+	}
+
+	if *out == "" {
+		fmt.Print(report)
+		return
+	}
+	fatal(os.WriteFile(*out, []byte(report), 0o644))
+	fmt.Fprintf(os.Stderr, "ibreport: wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibreport:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,99 @@
+// Command ibsweep regenerates the paper's evaluation artifacts: Table 1 and
+// the eight latency-vs-accepted-traffic figures (SLID/MLID x 1/2/4 virtual
+// lanes, uniform and 50%-centric traffic, four network sizes).
+//
+// Examples:
+//
+//	ibsweep -table1                 # print the network configuration table
+//	ibsweep -fig F5 -chart          # run one figure, render an ASCII chart
+//	ibsweep -fig all -quick -csv out/   # all figures (reduced), CSV per figure
+//
+// Full-fidelity sweeps of the two 128-node networks take a few minutes and
+// the 512-node network longer; -quick cuts the load points and windows while
+// preserving the curve shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mlid"
+)
+
+func main() {
+	var (
+		table1 = flag.Bool("table1", false, "print Table 1 (network configurations)")
+		fig    = flag.String("fig", "", "figure to run: F1..F8, a short name like c-16x2, or 'all'")
+		quick  = flag.Bool("quick", false, "reduced load points and windows")
+		chart  = flag.Bool("chart", false, "render ASCII charts to stdout")
+		csvDir = flag.String("csv", "", "directory to write per-figure CSV files into")
+	)
+	flag.Parse()
+
+	if *table1 {
+		rows, err := mlid.EvalTable1(mlid.EvalNetworks())
+		fatal(err)
+		printTable1(rows)
+	}
+	if *fig == "" {
+		if !*table1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		return
+	}
+
+	specs := mlid.EvalFigures()
+	if *quick {
+		specs = mlid.EvalQuickFigures()
+	}
+	var selected []mlid.EvalFigureSpec
+	if *fig == "all" {
+		selected = specs
+	} else {
+		want, err := mlid.EvalFigureByID(*fig)
+		fatal(err)
+		for _, s := range specs {
+			if s.ID == want.ID {
+				selected = append(selected, s)
+			}
+		}
+	}
+
+	for _, spec := range selected {
+		fmt.Printf("running %s ...\n", spec.Title())
+		res, err := spec.Run()
+		fatal(err)
+		fmt.Print(res.Summary())
+		if *chart {
+			fmt.Println(res.Chart())
+		}
+		if *csvDir != "" {
+			fatal(os.MkdirAll(*csvDir, 0o755))
+			path := filepath.Join(*csvDir, spec.ID+".csv")
+			fatal(os.WriteFile(path, []byte(res.CSV()), 0o644))
+			fmt.Printf("wrote %s\n", path)
+		}
+		fmt.Println()
+	}
+}
+
+func printTable1(rows []mlid.EvalTable1Row) {
+	fmt.Println("Table 1: simulated m-port n-tree InfiniBand networks")
+	fmt.Printf("%-16s %7s %9s %7s %4s %10s %9s %11s\n",
+		"network", "nodes", "switches", "links", "LMC", "LIDs/node", "LIDspace", "paths(a=0)")
+	for _, r := range rows {
+		fmt.Printf("%-16s %7d %9d %7d %4d %10d %9d %11d\n",
+			r.Network.String(), r.Nodes, r.Switches, r.Links, r.LMC, r.LIDsPerNode, r.LIDSpace, r.PathsAlpha0)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibsweep:", err)
+		os.Exit(1)
+	}
+}

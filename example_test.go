@@ -1,0 +1,99 @@
+package mlid_test
+
+import (
+	"fmt"
+	"log"
+
+	"mlid"
+)
+
+// ExampleNewTree shows the m-port n-tree counting formulas.
+func ExampleNewTree() {
+	tree, err := mlid.NewTree(4, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tree)
+	fmt.Printf("height %d, %d links, bisection %d\n", tree.N()+1, tree.Links(), tree.BisectionLinks())
+	// Output:
+	// FT(4,3): 16 nodes, 20 switches
+	// height 4, 48 links, bisection 8
+}
+
+// ExampleMLID reproduces the paper's Figure 10 LID assignment for P(010).
+func ExampleMLID() {
+	tree, _ := mlid.NewTree(4, 3)
+	subnet, err := mlid.Configure(tree, mlid.MLID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	node, _ := tree.NodeFromDigits([]int{0, 1, 0})
+	fmt.Printf("%s owns %s\n", tree.NodeLabel(node), subnet.Endports[node])
+	// Output:
+	// P(010) owns LIDs 9..12 (LMC 2)
+}
+
+// ExampleTrace resolves the Section 4.3 route from P(000) to P(100).
+func ExampleTrace() {
+	tree, _ := mlid.NewTree(4, 3)
+	path, err := mlid.Trace(tree, mlid.MLID(), 0, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DLID %d: %s\n", path.DLID, path.Render(tree))
+	// Output:
+	// DLID 17: P(000) -> SW<00,2>:2 -> SW<00,1>:2 -> SW<00,0>:1 -> SW<10,1>:0 -> SW<10,2>:0 -> P(100)
+}
+
+// ExampleAllPaths enumerates the four LMC-selectable routes between two
+// maximally distant nodes of the 4-port 3-tree.
+func ExampleAllPaths() {
+	tree, _ := mlid.NewTree(4, 3)
+	paths, err := mlid.AllPaths(tree, mlid.MLID(), 0, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d distinct routes through %d roots\n", len(paths), len(paths))
+	// Output:
+	// 4 distinct routes through 4 roots
+}
+
+// ExampleSimulate runs one operating point and checks it against the
+// closed-form expectation: at 20% uniform load the fabric is far from
+// saturation, so accepted tracks offered.
+func ExampleSimulate() {
+	tree, _ := mlid.NewTree(8, 2)
+	subnet, err := mlid.Configure(tree, mlid.MLID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mlid.Simulate(mlid.SimConfig{
+		Subnet:      subnet,
+		Pattern:     mlid.UniformTraffic(tree.Nodes()),
+		OfferedLoad: 0.2,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saturated: %v\n", res.Saturated)
+	fmt.Printf("accepted within 2%% of offered: %v\n",
+		res.Accepted > 0.98*res.OfferedLoad && res.Accepted < 1.02*res.OfferedLoad)
+	// Output:
+	// saturated: false
+	// accepted within 2% of offered: true
+}
+
+// ExampleSelectDLID shows LMC multipath failover around a failed link.
+func ExampleSelectDLID() {
+	tree, _ := mlid.NewTree(4, 3)
+	canonical, _ := mlid.Trace(tree, mlid.MLID(), 0, 4)
+
+	faults := mlid.NewFaultSet()
+	faults.FailLink(tree, canonical.Hops[0].Switch, canonical.Hops[0].OutPort)
+
+	lid, _, ok := mlid.SelectDLID(tree, mlid.MLID(), 0, 4, faults)
+	fmt.Printf("failover found: %v (DLID %d instead of %d)\n", ok, lid, canonical.DLID)
+	// Output:
+	// failover found: true (DLID 18 instead of 17)
+}

@@ -1,0 +1,3 @@
+module mlid
+
+go 1.22

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mlid/internal/topology"
+)
+
+// Flow is one entry of a static traffic matrix: Weight units of load from
+// Src to Dst.
+type Flow struct {
+	Src, Dst topology.NodeID
+	Weight   float64
+}
+
+// LinkKey identifies a directed link by its transmitting endpoint. Links out
+// of processing nodes use Kind topology.KindNode.
+type LinkKey struct {
+	Kind   topology.Kind
+	Entity int32 // NodeID or SwitchID
+	Port   int   // abstract port (0 for nodes)
+}
+
+// String renders the key for reports.
+func (k LinkKey) String() string {
+	if k.Kind == topology.KindNode {
+		return fmt.Sprintf("node%d->", k.Entity)
+	}
+	return fmt.Sprintf("sw%d:%d->", k.Entity, k.Port)
+}
+
+// LoadReport summarizes the static per-link load a scheme induces for a
+// traffic matrix, assuming every flow follows the scheme's selected path.
+// It is the paper's congestion argument made computable without simulation:
+// the maximum link load bounds the achievable throughput from above
+// (throughput <= total demand / max load, for unit-capacity links).
+type LoadReport struct {
+	// Load maps every used directed link to its accumulated weight.
+	Load map[LinkKey]float64
+	// Max and Mean summarize over used links.
+	Max, Mean float64
+	// MaxLink is one link attaining Max.
+	MaxLink LinkKey
+	// Flows is the number of traced flows.
+	Flows int
+}
+
+// LinkLoad traces every flow under the scheme and accumulates directed link
+// loads. It returns an error if any flow cannot be routed.
+func LinkLoad(t *topology.Tree, s Scheme, flows []Flow) (*LoadReport, error) {
+	r := &LoadReport{Load: make(map[LinkKey]float64)}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			continue
+		}
+		p, err := Trace(t, s, f.Src, f.Dst)
+		if err != nil {
+			return nil, err
+		}
+		r.Flows++
+		r.Load[LinkKey{Kind: topology.KindNode, Entity: int32(f.Src)}] += f.Weight
+		for _, h := range p.Hops {
+			r.Load[LinkKey{Kind: topology.KindSwitch, Entity: int32(h.Switch), Port: h.OutPort}] += f.Weight
+		}
+	}
+	var sum float64
+	for k, v := range r.Load {
+		sum += v
+		if v > r.Max {
+			r.Max, r.MaxLink = v, k
+		}
+	}
+	if len(r.Load) > 0 {
+		r.Mean = sum / float64(len(r.Load))
+	}
+	return r, nil
+}
+
+// TopLinks returns the n most loaded links, heaviest first.
+func (r *LoadReport) TopLinks(n int) []struct {
+	Key  LinkKey
+	Load float64
+} {
+	type kv struct {
+		Key  LinkKey
+		Load float64
+	}
+	all := make([]kv, 0, len(r.Load))
+	for k, v := range r.Load {
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Load != all[j].Load {
+			return all[i].Load > all[j].Load
+		}
+		if all[i].Key.Entity != all[j].Key.Entity {
+			return all[i].Key.Entity < all[j].Key.Entity
+		}
+		return all[i].Key.Port < all[j].Key.Port
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]struct {
+		Key  LinkKey
+		Load float64
+	}, n)
+	for i := 0; i < n; i++ {
+		out[i] = struct {
+			Key  LinkKey
+			Load float64
+		}{all[i].Key, all[i].Load}
+	}
+	return out
+}
+
+// AllToOne builds the traffic matrix in which every node sends unit load to
+// the single destination — the concentrated pattern behind the paper's
+// Figure 9 congestion example and its 50%-centric workload.
+func AllToOne(t *topology.Tree, dst topology.NodeID) []Flow {
+	flows := make([]Flow, 0, t.Nodes()-1)
+	for p := 0; p < t.Nodes(); p++ {
+		if topology.NodeID(p) == dst {
+			continue
+		}
+		flows = append(flows, Flow{Src: topology.NodeID(p), Dst: dst, Weight: 1})
+	}
+	return flows
+}
+
+// Permutation builds a unit-load flow per node from a permutation function.
+// Fixed points are skipped.
+func Permutation(t *topology.Tree, perm func(int) int) []Flow {
+	flows := make([]Flow, 0, t.Nodes())
+	for p := 0; p < t.Nodes(); p++ {
+		d := perm(p)
+		if d == p || d < 0 || d >= t.Nodes() {
+			continue
+		}
+		flows = append(flows, Flow{Src: topology.NodeID(p), Dst: topology.NodeID(d), Weight: 1})
+	}
+	return flows
+}

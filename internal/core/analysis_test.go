@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"mlid/internal/topology"
+)
+
+// TestAllToOneLinkLoad formalizes the Figure 9 comparison: with every node
+// sending unit load to one destination, SLID piles the whole demand onto a
+// single ascending port per leaf group, while MLID spreads each group's
+// demand across its (m/2) up links.
+func TestAllToOneLinkLoad(t *testing.T) {
+	tr := topology.MustNew(8, 2)
+	dst := topology.NodeID(tr.Nodes() - 1)
+	flows := AllToOne(tr, dst)
+
+	slid, err := LinkLoad(tr, NewSLID(), flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlid, err := LinkLoad(tr, NewMLID(), flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slid.Flows != tr.Nodes()-1 || mlid.Flows != tr.Nodes()-1 {
+		t.Fatalf("flows = %d/%d", slid.Flows, mlid.Flows)
+	}
+	// Both schemes share the unavoidable bottleneck: the destination's own
+	// attachment link carries all N-1 flows.
+	want := float64(tr.Nodes() - 1)
+	if slid.Max != want || mlid.Max != want {
+		t.Fatalf("max loads %v/%v, want %v (destination link)", slid.Max, mlid.Max, want)
+	}
+	// Away from the terminal link, MLID's ascending spread must strictly beat
+	// SLID: compare the heaviest *ascending* link.
+	maxUp := func(r *LoadReport) float64 {
+		var m float64
+		for k, v := range r.Load {
+			if k.Kind != topology.KindSwitch {
+				continue
+			}
+			if k.Port >= tr.DownPorts(topology.SwitchID(k.Entity)) && v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	su, mu := maxUp(slid), maxUp(mlid)
+	if mu >= su {
+		t.Fatalf("max ascending load: MLID %v, SLID %v — MLID should be strictly lower", mu, su)
+	}
+	// MLID balances each source leaf group perfectly: every used ascending
+	// link out of a leaf carries exactly 1 unit... except in the destination
+	// group, whose members do not ascend to reach dst's leaf? They share the
+	// leaf, so they do not ascend at all. All other groups: h sources over h
+	// up links.
+	for k, v := range mlid.Load {
+		if k.Kind != topology.KindSwitch {
+			continue
+		}
+		sw := topology.SwitchID(k.Entity)
+		if tr.IsLeaf(sw) && k.Port >= tr.DownPorts(sw) && v != 1 {
+			t.Fatalf("MLID leaf ascending link %v carries %v, want 1", k, v)
+		}
+	}
+}
+
+func TestLinkLoadSkipsSelfFlows(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+	r, err := LinkLoad(tr, NewMLID(), []Flow{{Src: 1, Dst: 1, Weight: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Flows != 0 || len(r.Load) != 0 {
+		t.Fatalf("self flow traced: %+v", r)
+	}
+}
+
+func TestTopLinks(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+	r, err := LinkLoad(tr, NewSLID(), AllToOne(tr, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := r.TopLinks(3)
+	if len(top) != 3 {
+		t.Fatalf("TopLinks(3) = %d entries", len(top))
+	}
+	if top[0].Load < top[1].Load || top[1].Load < top[2].Load {
+		t.Fatal("TopLinks not sorted")
+	}
+	if top[0].Load != r.Max {
+		t.Fatalf("TopLinks[0] = %v, Max = %v", top[0].Load, r.Max)
+	}
+	if got := r.TopLinks(10_000); len(got) != len(r.Load) {
+		t.Fatalf("TopLinks clamp: %d != %d", len(got), len(r.Load))
+	}
+	if top[0].Key.String() == "" || r.MaxLink.String() == "" {
+		t.Error("empty link key rendering")
+	}
+}
+
+func TestPermutationFlows(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+	n := tr.Nodes()
+	flows := Permutation(tr, func(i int) int { return (i + 1) % n })
+	if len(flows) != n {
+		t.Fatalf("%d flows, want %d", len(flows), n)
+	}
+	// Identity permutation produces nothing.
+	if got := Permutation(tr, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("identity produced %d flows", len(got))
+	}
+	// Out-of-range destinations are skipped.
+	if got := Permutation(tr, func(i int) int { return -1 }); len(got) != 0 {
+		t.Fatalf("out-of-range produced %d flows", len(got))
+	}
+	r, err := LinkLoad(tr, NewMLID(), flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mean <= 0 || r.Max < r.Mean {
+		t.Fatalf("bad summary: max %v mean %v", r.Max, r.Mean)
+	}
+}
+
+// TestBitComplementBalance: under the PID bit-complement permutation (alpha=0
+// for every pair), MLID keeps the load perfectly balanced: every ascending
+// link carries the same load.
+func TestBitComplementBalance(t *testing.T) {
+	tr := topology.MustNew(4, 3)
+	n := tr.Nodes()
+	flows := Permutation(tr, func(i int) int { return n - 1 - i })
+	r, err := LinkLoad(tr, NewMLID(), flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first float64 = -1
+	for k, v := range r.Load {
+		if k.Kind != topology.KindSwitch || k.Port < tr.DownPorts(topology.SwitchID(k.Entity)) {
+			continue
+		}
+		if first < 0 {
+			first = v
+		} else if v != first {
+			t.Fatalf("unbalanced ascending loads: %v vs %v at %v", v, first, k)
+		}
+	}
+	if first < 0 {
+		t.Fatal("no ascending links used")
+	}
+}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlid/internal/ib"
+	"mlid/internal/topology"
+)
+
+func mustNode(t *testing.T, tr *topology.Tree, d ...int) topology.NodeID {
+	t.Helper()
+	id, err := tr.NodeFromDigits(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func testTrees() []*topology.Tree {
+	return []*topology.Tree{
+		topology.MustNew(4, 1), topology.MustNew(4, 2), topology.MustNew(4, 3),
+		topology.MustNew(4, 4), topology.MustNew(8, 2), topology.MustNew(8, 3),
+		topology.MustNew(16, 2),
+	}
+}
+
+// TestPaperFigure10LIDAssignment reproduces the paper's Figure 10 example:
+// in the 4-port 3-tree, LMC = 2, every node owns 4 LIDs, and
+// BaseLID(P(010)) = 9 with LIDset {9, 10, 11, 12}.
+func TestPaperFigure10LIDAssignment(t *testing.T) {
+	tr := topology.MustNew(4, 3)
+	s := NewMLID()
+	if got := s.LMC(tr); got != 2 {
+		t.Fatalf("LMC = %d, want 2", got)
+	}
+	if got := s.PathsPerPair(tr); got != 4 {
+		t.Fatalf("PathsPerPair = %d, want 4", got)
+	}
+	n := mustNode(t, tr, 0, 1, 0)
+	if got := s.BaseLID(tr, n); got != 9 {
+		t.Fatalf("BaseLID(P(010)) = %d, want 9", got)
+	}
+	// Full Figure 10: base LIDs are 1, 5, 9, ... in PID order.
+	for p := 0; p < tr.Nodes(); p++ {
+		want := ib.LID(4*p + 1)
+		if got := s.BaseLID(tr, topology.NodeID(p)); got != want {
+			t.Fatalf("BaseLID(PID %d) = %d, want %d", p, got, want)
+		}
+	}
+	if got := s.LIDSpace(tr); got != 16*4+1 {
+		t.Fatalf("LIDSpace = %d, want 65", got)
+	}
+}
+
+// TestPaperFigure11PathSelection reproduces the Figure 11 example: the four
+// members of gcpg(0, 1) sending to P(100) select the four consecutive LIDs
+// of P(100), in rank order, and the four selected routes climb to four
+// distinct least common ancestors over disjoint links.
+func TestPaperFigure11PathSelection(t *testing.T) {
+	tr := topology.MustNew(4, 3)
+	s := NewMLID()
+	dst := mustNode(t, tr, 1, 0, 0) // P(100), BaseLID 17
+	if s.BaseLID(tr, dst) != 17 {
+		t.Fatalf("BaseLID(P(100)) = %d, want 17", s.BaseLID(tr, dst))
+	}
+	group, err := tr.GCPG([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(group) != 4 {
+		t.Fatalf("gcpg(0,1) has %d members", len(group))
+	}
+	usedLinks := map[[2]int32]topology.NodeID{}
+	usedLCAs := map[topology.SwitchID]bool{}
+	for i, src := range group {
+		dlid := s.DLID(tr, src, dst)
+		if want := ib.LID(17 + i); dlid != want {
+			t.Fatalf("DLID(%s -> P(100)) = %d, want %d", tr.NodeLabel(src), dlid, want)
+		}
+		p, err := Trace(tr, s, src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ascending links must be disjoint across the group.
+		for _, h := range p.Hops {
+			if h.OutPort >= tr.DownPorts(h.Switch) {
+				key := [2]int32{int32(h.Switch), int32(h.OutPort)}
+				if prev, dup := usedLinks[key]; dup {
+					t.Fatalf("sources %s and %s share ascending link %s:%d",
+						tr.NodeLabel(prev), tr.NodeLabel(src), tr.SwitchLabel(h.Switch), h.OutPort)
+				}
+				usedLinks[key] = src
+			}
+		}
+		// The top switch of the route is the LCA; all four must differ.
+		top := p.Hops[0].Switch
+		for _, h := range p.Hops {
+			if tr.SwitchLevel(h.Switch) < tr.SwitchLevel(top) {
+				top = h.Switch
+			}
+		}
+		if usedLCAs[top] {
+			t.Fatalf("duplicate LCA %s", tr.SwitchLabel(top))
+		}
+		usedLCAs[top] = true
+		if lvl := tr.SwitchLevel(top); lvl != 0 {
+			t.Fatalf("LCA %s at level %d, want 0", tr.SwitchLabel(top), lvl)
+		}
+	}
+}
+
+// TestPaperSection43Route replays the paper's Equation (1)/(2) verification:
+// the packet from P(000) to P(100) uses DLID 17 (BaseLID of P(100), offset 0
+// since rank(P(000)) = 0) and traverses leaf -> level 1 -> root -> level 1 ->
+// leaf of the destination subtree.
+func TestPaperSection43Route(t *testing.T) {
+	tr := topology.MustNew(4, 3)
+	s := NewMLID()
+	src := mustNode(t, tr, 0, 0, 0)
+	dst := mustNode(t, tr, 1, 0, 0)
+	dlid := s.DLID(tr, src, dst)
+	if dlid != 17 {
+		t.Fatalf("DLID = %d, want 17", dlid)
+	}
+	p, err := Trace(tr, s, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 5 { // 2n-1 switches for alpha = 0
+		t.Fatalf("route length %d, want 5: %s", p.Len(), p.Render(tr))
+	}
+	wantLabels := []string{"SW<00,2>", "SW<00,1>", "SW<00,0>", "SW<10,1>", "SW<10,2>"}
+	for i, h := range p.Hops {
+		if got := tr.SwitchLabel(h.Switch); got != wantLabels[i] {
+			t.Fatalf("hop %d = %s, want %s (%s)", i, got, wantLabels[i], p.Render(tr))
+		}
+	}
+	// Offset 0 ascends through up-port h+0 = 2 (physical 3) at every level.
+	for i := 0; i < 2; i++ {
+		if p.Hops[i].OutPort != 2 {
+			t.Fatalf("ascending hop %d uses port %d, want 2", i, p.Hops[i].OutPort)
+		}
+	}
+	// Descent follows the destination digits 1, 0, 0.
+	if p.Hops[2].OutPort != 1 || p.Hops[3].OutPort != 0 || p.Hops[4].OutPort != 0 {
+		t.Fatalf("descending ports = %d,%d,%d, want 1,0,0",
+			p.Hops[2].OutPort, p.Hops[3].OutPort, p.Hops[4].OutPort)
+	}
+}
+
+// TestDeliveryAllPairs: both schemes deliver every (src, dst) pair on every
+// test tree, with the correct shortest length 2*(n-alpha)-1 switches.
+func TestDeliveryAllPairs(t *testing.T) {
+	for _, tr := range testTrees() {
+		for _, s := range Schemes() {
+			pairs := 0
+			for a := 0; a < tr.Nodes() && pairs < 5000; a++ {
+				for b := 0; b < tr.Nodes(); b++ {
+					if a == b {
+						continue
+					}
+					pairs++
+					p, err := Trace(tr, s, topology.NodeID(a), topology.NodeID(b))
+					if err != nil {
+						t.Fatalf("%s %s: %v", tr, s.Name(), err)
+					}
+					alpha := tr.GCPLen(topology.NodeID(a), topology.NodeID(b))
+					if want := 2*(tr.N()-alpha) - 1; p.Len() != want {
+						t.Fatalf("%s %s %d->%d: %d switches, want %d",
+							tr, s.Name(), a, b, p.Len(), want)
+					}
+					if up := p.UpHops(tr); up != tr.N()-alpha-1 {
+						t.Fatalf("%s %s %d->%d: %d up hops, want %d",
+							tr, s.Name(), a, b, up, tr.N()-alpha-1)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMLIDAllLIDsDeliver: every LID of every destination delivers from every
+// source (any path index is routable, not only the selected one).
+func TestMLIDAllLIDsDeliver(t *testing.T) {
+	tr := topology.MustNew(4, 3)
+	s := NewMLID()
+	for src := 0; src < tr.Nodes(); src++ {
+		for dst := 0; dst < tr.Nodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			base := s.BaseLID(tr, topology.NodeID(dst))
+			for off := 0; off < s.PathsPerPair(tr); off++ {
+				p, err := TraceLID(tr, s, topology.NodeID(src), base+ib.LID(off))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p.Dst != topology.NodeID(dst) {
+					t.Fatalf("LID %d of node %d delivered to %d", base+ib.LID(off), dst, p.Dst)
+				}
+			}
+		}
+	}
+}
+
+// TestMLIDDistinctPathCount: the number of distinct routes a source can name
+// to a destination equals the fabric's path count (m/2)^(n-1-alpha).
+func TestMLIDDistinctPathCount(t *testing.T) {
+	for _, tr := range []*topology.Tree{topology.MustNew(4, 2), topology.MustNew(4, 3), topology.MustNew(8, 2)} {
+		s := NewMLID()
+		for src := 0; src < tr.Nodes(); src++ {
+			for dst := 0; dst < tr.Nodes(); dst++ {
+				if src == dst {
+					continue
+				}
+				paths, err := AllPaths(tr, s, topology.NodeID(src), topology.NodeID(dst))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if int64(len(paths)) != tr.PathCount(topology.NodeID(src), topology.NodeID(dst)) {
+					t.Fatalf("%s %d->%d: %d distinct paths, want %d",
+						tr, src, dst, len(paths), tr.PathCount(topology.NodeID(src), topology.NodeID(dst)))
+				}
+			}
+		}
+	}
+}
+
+// TestSLIDSinglePath: under SLID every source reaches a destination through
+// the destination's unique path suffix — all sources' routes to dst share
+// the same LCA (the congestion the paper's Figure 9(a) illustrates).
+func TestSLIDSinglePath(t *testing.T) {
+	tr := topology.MustNew(8, 2)
+	s := NewSLID()
+	for dst := 0; dst < tr.Nodes(); dst++ {
+		var lca topology.SwitchID = -1
+		for src := 0; src < tr.Nodes(); src++ {
+			if src == dst || tr.GCPLen(topology.NodeID(src), topology.NodeID(dst)) != 0 {
+				continue
+			}
+			p, err := Trace(tr, s, topology.NodeID(src), topology.NodeID(dst))
+			if err != nil {
+				t.Fatal(err)
+			}
+			top := p.Hops[0].Switch
+			for _, h := range p.Hops {
+				if tr.SwitchLevel(h.Switch) < tr.SwitchLevel(top) {
+					top = h.Switch
+				}
+			}
+			if lca == -1 {
+				lca = top
+			} else if lca != top {
+				t.Fatalf("SLID routes to %d via two roots %s and %s",
+					dst, tr.SwitchLabel(lca), tr.SwitchLabel(top))
+			}
+		}
+	}
+}
+
+// TestMLIDGroupAscentDisjoint is the paper's congestion-avoidance claim as a
+// property: for any destination, the ascending links used by all sources of a
+// common gcpg sending to it are pairwise disjoint.
+func TestMLIDGroupAscentDisjoint(t *testing.T) {
+	for _, tr := range []*topology.Tree{topology.MustNew(4, 3), topology.MustNew(8, 2), topology.MustNew(8, 3)} {
+		s := NewMLID()
+		for dst := 0; dst < tr.Nodes(); dst += 1 + tr.Nodes()/8 {
+			dstID := topology.NodeID(dst)
+			// Group: all sources with alpha = 0 w.r.t. dst and equal first digit.
+			firstDigit := -1
+			used := map[[2]int32]bool{}
+			for src := 0; src < tr.Nodes(); src++ {
+				srcID := topology.NodeID(src)
+				if srcID == dstID || tr.GCPLen(srcID, dstID) != 0 {
+					continue
+				}
+				d0 := tr.NodeDigit(srcID, 0)
+				if firstDigit == -1 {
+					firstDigit = d0
+				}
+				if d0 != firstDigit {
+					continue
+				}
+				p, err := Trace(tr, s, srcID, dstID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, h := range p.Hops {
+					if h.OutPort >= tr.DownPorts(h.Switch) {
+						key := [2]int32{int32(h.Switch), int32(h.OutPort)}
+						if used[key] {
+							t.Fatalf("%s: ascending link %s:%d reused within group (dst %d)",
+								tr, tr.SwitchLabel(h.Switch), h.OutPort, dst)
+						}
+						used[key] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuickUpDownDiscipline: random (src, lid) walks never violate the
+// up*/down* discipline and always terminate (TraceLID enforces both).
+func TestQuickUpDownDiscipline(t *testing.T) {
+	tr := topology.MustNew(8, 3)
+	s := NewMLID()
+	space := s.LIDSpace(tr)
+	f := func(rawSrc, rawLid uint32) bool {
+		src := topology.NodeID(rawSrc % uint32(tr.Nodes()))
+		lid := ib.LID(1 + rawLid%uint32(space-1))
+		p, err := TraceLID(tr, s, src, lid)
+		if err != nil {
+			return false
+		}
+		dst, _, _ := s.Decompose(tr, lid)
+		return p.Dst == dst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDLIDInRange: path selection always picks a LID the destination owns.
+func TestQuickDLIDInRange(t *testing.T) {
+	for _, tr := range testTrees() {
+		for _, s := range Schemes() {
+			lmc := s.LMC(tr)
+			f := func(rawA, rawB uint32) bool {
+				a := topology.NodeID(rawA % uint32(tr.Nodes()))
+				b := topology.NodeID(rawB % uint32(tr.Nodes()))
+				dlid := s.DLID(tr, a, b)
+				r := ib.LIDRange{Base: s.BaseLID(tr, b), LMC: lmc}
+				return r.Contains(dlid)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}); err != nil {
+				t.Errorf("%s %s: %v", tr, s.Name(), err)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"MLID", "mlid", "SLID", "slid"} {
+		s, err := ByName(name)
+		if err != nil || s == nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName(bogus): expected error")
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+	s := NewMLID()
+	if _, _, err := s.Decompose(tr, 0); err == nil {
+		t.Error("Decompose(0): expected error")
+	}
+	if _, _, err := s.Decompose(tr, ib.LID(s.LIDSpace(tr))); err == nil {
+		t.Error("Decompose(space): expected error")
+	}
+	dst, j, err := s.Decompose(tr, 4) // PID 1, offset 1 (LMC = 1)
+	if err != nil || dst != 1 || j != 1 {
+		t.Errorf("Decompose(4) = %d,%d,%v", dst, j, err)
+	}
+}
+
+func TestOutPortAbstractRejectsBadLIDs(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+	for _, s := range Schemes() {
+		if _, ok := s.OutPortAbstract(tr, 0, 0); ok {
+			t.Errorf("%s routed LID 0", s.Name())
+		}
+		if _, ok := s.OutPortAbstract(tr, 0, ib.LID(s.LIDSpace(tr))); ok {
+			t.Errorf("%s routed out-of-space LID", s.Name())
+		}
+	}
+}
+
+// TestSingleSwitchFabric exercises the FT(m,1) degenerate case.
+func TestSingleSwitchFabric(t *testing.T) {
+	tr := topology.MustNew(8, 1)
+	for _, s := range Schemes() {
+		if s.LMC(tr) != 0 {
+			t.Errorf("%s: LMC on FT(8,1) = %d, want 0", s.Name(), s.LMC(tr))
+		}
+		for a := 0; a < tr.Nodes(); a++ {
+			for b := 0; b < tr.Nodes(); b++ {
+				if a == b {
+					continue
+				}
+				p, err := Trace(tr, s, topology.NodeID(a), topology.NodeID(b))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p.Len() != 1 {
+					t.Fatalf("%s: single-switch route has %d hops", s.Name(), p.Len())
+				}
+			}
+		}
+	}
+}
+
+func TestPathRendering(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+	p, err := Trace(tr, NewMLID(), 0, topology.NodeID(tr.Nodes()-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() == "" || p.Render(tr) == "" {
+		t.Error("empty rendering")
+	}
+	if p.Render(tr) == p.Render(nil) {
+		t.Error("labelled and unlabelled renderings identical")
+	}
+}

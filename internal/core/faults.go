@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"mlid/internal/ib"
+	"mlid/internal/topology"
+)
+
+// FaultSet records failed links. A link is named by either of its switch-side
+// endpoints; node attachment links are named by the leaf-switch endpoint.
+// Marking one direction marks the whole bidirectional link, matching how a
+// subnet manager reacts to a dead port pair.
+type FaultSet struct {
+	dead map[linkEnd]bool
+}
+
+type linkEnd struct {
+	sw   topology.SwitchID
+	port int
+}
+
+// NewFaultSet returns an empty fault set.
+func NewFaultSet() *FaultSet { return &FaultSet{dead: make(map[linkEnd]bool)} }
+
+// FailLink marks the bidirectional link at (switch, abstract port) failed,
+// registering both endpoints when the peer is a switch.
+func (f *FaultSet) FailLink(t *topology.Tree, sw topology.SwitchID, port int) {
+	f.dead[linkEnd{sw, port}] = true
+	if ref := t.SwitchNeighbor(sw, port); ref.Kind == topology.KindSwitch {
+		f.dead[linkEnd{ref.Switch, ref.Port}] = true
+	}
+}
+
+// Len returns the number of registered failed endpoints.
+func (f *FaultSet) Len() int { return len(f.dead) }
+
+// Blocked reports whether the path crosses a failed link.
+func (f *FaultSet) Blocked(p Path) bool {
+	for _, h := range p.Hops {
+		if f.dead[linkEnd{h.Switch, h.OutPort}] || f.dead[linkEnd{h.Switch, h.InPort}] {
+			return true
+		}
+	}
+	return false
+}
+
+// SelectDLID performs fault-avoiding path selection: the LMC-multipath
+// failover that motivates multiple LIDs in practice. It first tries the
+// scheme's canonical DLID; if that path crosses a failed link it scans the
+// destination's remaining LIDs for a surviving path. This is an extension
+// beyond the paper (which assumes a healthy fabric): the MLID addressing
+// makes recovery a source-local DLID rewrite, with no forwarding-table
+// reprogramming, while SLID (one LID) has no alternative to offer.
+//
+// It returns the chosen DLID, the surviving path, and ok=false when every
+// named path is blocked.
+func SelectDLID(t *topology.Tree, s Scheme, src, dst topology.NodeID, faults *FaultSet) (ib.LID, Path, bool) {
+	canonical := s.DLID(t, src, dst)
+	if p, err := TraceLID(t, s, src, canonical); err == nil && p.Dst == dst && (faults == nil || !faults.Blocked(p)) {
+		return canonical, p, true
+	}
+	base := s.BaseLID(t, dst)
+	for off := 0; off < 1<<s.LMC(t); off++ {
+		lid := base + ib.LID(off)
+		if lid == canonical {
+			continue
+		}
+		p, err := TraceLID(t, s, src, lid)
+		if err != nil || p.Dst != dst {
+			continue
+		}
+		if faults == nil || !faults.Blocked(p) {
+			return lid, p, true
+		}
+	}
+	return 0, Path{}, false
+}
+
+// Reachability reports, for a given fault set, how many (src, dst) pairs the
+// scheme can still serve through some named LID, over all ordered pairs of
+// distinct nodes. It is used to compare MLID's and SLID's fault tolerance.
+func Reachability(t *topology.Tree, s Scheme, faults *FaultSet) (served, total int, err error) {
+	for a := 0; a < t.Nodes(); a++ {
+		for b := 0; b < t.Nodes(); b++ {
+			if a == b {
+				continue
+			}
+			total++
+			if _, _, ok := SelectDLID(t, s, topology.NodeID(a), topology.NodeID(b), faults); ok {
+				served++
+			}
+		}
+	}
+	if total == 0 {
+		return 0, 0, fmt.Errorf("core: no node pairs in %v", t)
+	}
+	return served, total, nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"mlid/internal/topology"
+)
+
+// TestOptimizePermutationMatchesRank: on a balanced permutation the rank
+// selection is already optimal (every link load 1), and the optimizer must
+// match it.
+func TestOptimizePermutationMatchesRank(t *testing.T) {
+	tr := topology.MustNew(4, 3)
+	n := tr.Nodes()
+	flows := Permutation(tr, func(i int) int { return n - 1 - i })
+	s := NewMLID()
+
+	rank, err := LinkLoad(tr, s, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := OptimizePaths(tr, s, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Planned() != len(flows) {
+		t.Fatalf("planned %d of %d", plan.Planned(), len(flows))
+	}
+	if plan.MaxLoad > rank.Max {
+		t.Errorf("optimizer max load %v worse than rank %v", plan.MaxLoad, rank.Max)
+	}
+	rep, err := PlanLinkLoad(tr, s, plan, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Max != plan.MaxLoad {
+		t.Errorf("evaluated max %v != planned %v", rep.Max, plan.MaxLoad)
+	}
+}
+
+// TestOptimizeBeatsRankOnSkew: with a skewed matrix (several group members
+// all talking to the same few destinations *plus* heavy cross flows), the
+// rank rule can pile unrelated heavy flows onto shared ascending links; the
+// optimizer must do strictly better on max link load.
+func TestOptimizeBeatsRankOnSkew(t *testing.T) {
+	tr := topology.MustNew(8, 2)
+	s := NewMLID()
+	// Adversarial skew for the oblivious rank rule: pairs of heavy flows
+	// from different leaves whose sources share the same rank digit (so
+	// both ascend to the same root) and whose destinations share a leaf —
+	// the two descents then collide on the root's single down-link into
+	// that leaf. The optimizer can split them over different roots.
+	var flows []Flow
+	for pair := 0; pair < 3; pair++ {
+		srcA, err := tr.NodeFromDigits([]int{2 * pair, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcB, err := tr.NodeFromDigits([]int{2*pair + 1, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dstLeaf := 6
+		dstA, err := tr.NodeFromDigits([]int{dstLeaf, 2 * (pair % 2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dstB, err := tr.NodeFromDigits([]int{dstLeaf, 2*(pair%2) + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows = append(flows,
+			Flow{Src: srcA, Dst: dstA, Weight: 10},
+			Flow{Src: srcB, Dst: dstB, Weight: 10})
+	}
+
+	rank, err := LinkLoad(tr, s, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := OptimizePaths(tr, s, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MaxLoad >= rank.Max {
+		t.Errorf("optimizer max %v not better than rank %v", plan.MaxLoad, rank.Max)
+	}
+	// All planned routes are still shortest paths (delivery verified).
+	for _, f := range flows {
+		lid := plan.DLID(tr, s, f.Src, f.Dst)
+		p, err := TraceLID(tr, s, f.Src, lid)
+		if err != nil || p.Dst != f.Dst {
+			t.Fatalf("planned path broken for %d->%d: %v", f.Src, f.Dst, err)
+		}
+		if p.Len() != tr.Distance(f.Src, f.Dst) {
+			t.Fatalf("planned path not shortest for %d->%d", f.Src, f.Dst)
+		}
+	}
+}
+
+// TestPlanFallsBackToRank: unplanned pairs use the canonical selection.
+func TestPlanFallsBackToRank(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+	s := NewMLID()
+	plan, err := OptimizePaths(tr, s, []Flow{{Src: 0, Dst: 5, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.DLID(tr, s, 1, 6); got != s.DLID(tr, 1, 6) {
+		t.Errorf("fallback DLID %d != canonical %d", got, s.DLID(tr, 1, 6))
+	}
+}
+
+// TestOptimizeSkipsSelfFlows: self flows are ignored, not planned.
+func TestOptimizeSkipsSelfFlows(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+	plan, err := OptimizePaths(tr, NewMLID(), []Flow{{Src: 2, Dst: 2, Weight: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Planned() != 0 {
+		t.Errorf("planned %d self flows", plan.Planned())
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlid/internal/ib"
+	"mlid/internal/topology"
+)
+
+// randomTree maps two raw bytes to a valid small FT(m, n), so the property
+// tests below roam over the family rather than a fixed list.
+func randomTree(rawM, rawN uint8) *topology.Tree {
+	ms := []int{4, 8, 16, 32}
+	m := ms[int(rawM)%len(ms)]
+	// Keep node counts small enough for per-iteration tracing.
+	maxN := map[int]int{4: 4, 8: 3, 16: 2, 32: 2}[m]
+	n := 1 + int(rawN)%maxN
+	return topology.MustNew(m, n)
+}
+
+// TestQuickRandomTreesDeliver: on random family members, both schemes
+// deliver random pairs over shortest paths.
+func TestQuickRandomTreesDeliver(t *testing.T) {
+	f := func(rawM, rawN uint8, rawA, rawB uint32) bool {
+		tr := randomTree(rawM, rawN)
+		a := topology.NodeID(rawA % uint32(tr.Nodes()))
+		b := topology.NodeID(rawB % uint32(tr.Nodes()))
+		if a == b {
+			return true
+		}
+		for _, s := range Schemes() {
+			p, err := Trace(tr, s, a, b)
+			if err != nil || p.Dst != b {
+				return false
+			}
+			if p.Len() != tr.Distance(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(41))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRandomTreesLIDPartition: on random family members the MLID
+// addressing partitions the LID space with no gaps between nodes.
+func TestQuickRandomTreesLIDPartition(t *testing.T) {
+	f := func(rawM, rawN uint8) bool {
+		tr := randomTree(rawM, rawN)
+		s := NewMLID()
+		if int(s.LMC(tr)) > ib.MaxLMC {
+			return true // architecturally unconfigurable; SM rejects it
+		}
+		prevEnd := ib.LID(1)
+		for p := 0; p < tr.Nodes(); p++ {
+			base := s.BaseLID(tr, topology.NodeID(p))
+			if base != prevEnd {
+				return false
+			}
+			prevEnd = base + ib.LID(s.PathsPerPair(tr))
+		}
+		return int(prevEnd) == s.LIDSpace(tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(43))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGroupSelectionBijective: within any gcpg, the path-selection
+// offsets chosen by distinct sources toward one destination are distinct —
+// the property that makes the group's ascending links disjoint.
+func TestQuickGroupSelectionBijective(t *testing.T) {
+	f := func(rawM, rawN uint8, rawDst uint32) bool {
+		tr := randomTree(rawM, rawN)
+		if tr.N() < 2 {
+			return true
+		}
+		s := NewMLID()
+		dst := topology.NodeID(rawDst % uint32(tr.Nodes()))
+		// Group: all sources maximally distant from dst sharing digit 0.
+		seen := map[ib.LID]bool{}
+		wantDigit := -1
+		for src := 0; src < tr.Nodes(); src++ {
+			sid := topology.NodeID(src)
+			if tr.GCPLen(sid, dst) != 0 {
+				continue
+			}
+			d0 := tr.NodeDigit(sid, 0)
+			if wantDigit == -1 {
+				wantDigit = d0
+			}
+			if d0 != wantDigit {
+				continue
+			}
+			dlid := s.DLID(tr, sid, dst)
+			if seen[dlid] {
+				return false
+			}
+			seen[dlid] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(47))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"mlid/internal/ib"
+	"mlid/internal/topology"
+)
+
+// FailedAt reports whether the link at (switch, abstract port) is failed.
+func (f *FaultSet) FailedAt(sw topology.SwitchID, port int) bool {
+	return f.dead[linkEnd{sw, port}]
+}
+
+// BrokenEntry names a forwarding-table entry that cannot be repaired
+// locally: the failed link is on the descending phase, where the fat-tree
+// offers exactly one child toward the destination. Such DLIDs need
+// source-side reselection (SelectDLID) or an SM-level path recomputation.
+type BrokenEntry struct {
+	Switch topology.SwitchID
+	DLID   ib.LID
+}
+
+// RepairSubnet rewrites the subnet's forwarding tables around the failed
+// links, the way a subnet manager reacts to port-down traps.
+//
+// The repair uses a fat-tree-specific property of the m-port n-tree: during
+// the ascending phase any live up-port is correct, because the case-1
+// (descend) test at every level l only inspects switch label digits below l,
+// which an ascent detour never alters — the packet simply reaches a
+// different least common ancestor and descends from there. Ascending
+// entries pointing at failed links are therefore remapped to the next live
+// up-port (spread by DLID so repaired traffic does not pile onto one
+// survivor). Descending entries have no local alternative and are reported
+// as broken; entries for them are left in place pointing at the dead link
+// so the damage is observable rather than silently misrouted.
+//
+// It returns the number of remapped entries and the irreparable ones.
+func RepairSubnet(sn *ib.Subnet, faults *FaultSet) (remapped int, broken []BrokenEntry, err error) {
+	t := sn.Tree
+	for s := 0; s < t.Switches(); s++ {
+		sw := topology.SwitchID(s)
+		down := t.DownPorts(sw)
+		lft := sn.LFTs[s]
+		// Collect the live up-ports once per switch.
+		var liveUp []int
+		for k := down; k < t.M(); k++ {
+			if !faults.FailedAt(sw, k) {
+				liveUp = append(liveUp, k)
+			}
+		}
+		for lid := 1; lid < lft.Size(); lid++ {
+			phys, lookupErr := lft.Lookup(ib.LID(lid))
+			if lookupErr != nil {
+				continue
+			}
+			k := int(phys) - 1
+			if !faults.FailedAt(sw, k) {
+				continue
+			}
+			if k < down {
+				broken = append(broken, BrokenEntry{Switch: sw, DLID: ib.LID(lid)})
+				continue
+			}
+			if len(liveUp) == 0 {
+				broken = append(broken, BrokenEntry{Switch: sw, DLID: ib.LID(lid)})
+				continue
+			}
+			alt := liveUp[lid%len(liveUp)]
+			if setErr := lft.Set(ib.LID(lid), uint8(alt+1)); setErr != nil {
+				return remapped, broken, fmt.Errorf("core: repair switch %d lid %d: %w", s, lid, setErr)
+			}
+			remapped++
+		}
+	}
+	return remapped, broken, nil
+}
+
+// TraceSubnet walks the subnet's programmed forwarding tables (not the
+// scheme's closed form) from src for the given DLID — the ground truth for
+// repaired or hand-modified tables. It enforces the same loop and
+// up*/down* checks as TraceLID.
+func TraceSubnet(sn *ib.Subnet, src topology.NodeID, dlid ib.LID) (Path, error) {
+	t := sn.Tree
+	p := Path{Src: src, DLID: dlid}
+	sw, inPort := t.NodeAttachment(src)
+	descending := false
+	maxHops := 2*t.N() + 1
+	for hop := 0; ; hop++ {
+		if hop > maxHops {
+			return p, fmt.Errorf("core: subnet route for DLID %d exceeds %d hops: %s", dlid, maxHops, p.Render(t))
+		}
+		phys, err := sn.OutPort(sw, dlid)
+		if err != nil {
+			return p, fmt.Errorf("core: switch %s: %w", t.SwitchLabel(sw), err)
+		}
+		out := int(phys) - 1
+		downPorts := t.DownPorts(sw)
+		if out < downPorts {
+			descending = true
+		} else if descending {
+			return p, fmt.Errorf("core: subnet route for DLID %d turns upward after descending at %s",
+				dlid, t.SwitchLabel(sw))
+		}
+		p.Hops = append(p.Hops, Hop{Switch: sw, InPort: inPort, OutPort: out})
+		ref := t.SwitchNeighbor(sw, out)
+		switch ref.Kind {
+		case topology.KindNode:
+			p.Dst = ref.Node
+			return p, nil
+		case topology.KindSwitch:
+			sw, inPort = ref.Switch, ref.Port
+		default:
+			return p, fmt.Errorf("core: subnet route for DLID %d fell off the fabric at %s port %d",
+				dlid, t.SwitchLabel(sw), out)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package discover
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlid/internal/topology"
+)
+
+// TestQuickSingleCorruptionRejected: any single corruption of a discovered
+// graph's port numbers must be rejected by Recognize — the edge-by-edge
+// verification pass leaves no silent mislabelings. This is the property
+// that makes the recognizer safe to run on a possibly miswired fabric.
+func TestQuickSingleCorruptionRejected(t *testing.T) {
+	tr := topology.MustNew(8, 2)
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		g, _ := explore(t, tr, 0)
+		// Pick a deterministic random switch and port to corrupt.
+		var guids []uint64
+		for guid := range g.Switches {
+			guids = append(guids, guid)
+		}
+		// Map iteration order is random; sort for reproducibility.
+		for i := 1; i < len(guids); i++ {
+			for j := i; j > 0 && guids[j] < guids[j-1]; j-- {
+				guids[j], guids[j-1] = guids[j-1], guids[j]
+			}
+		}
+		sw := g.Switches[guids[rng.Intn(len(guids))]]
+		port := 1 + rng.Intn(sw.NumPorts)
+
+		switch rng.Intn(3) {
+		case 0:
+			// Corrupt the recorded far-end port number.
+			old := sw.PeerPort[port]
+			repl := 1 + rng.Intn(tr.M())
+			if repl == old {
+				repl = old%tr.M() + 1
+			}
+			sw.PeerPort[port] = repl
+		case 1:
+			// Point the edge at a different device.
+			old := sw.PeerGUID[port]
+			repl := guids[rng.Intn(len(guids))]
+			if repl == old {
+				continue // replacing a GUID with itself is not a corruption
+			}
+			sw.PeerGUID[port] = repl
+			sw.PeerIsCA[port] = false
+		case 2:
+			// Flip the device-type bit.
+			sw.PeerIsCA[port] = !sw.PeerIsCA[port]
+		}
+		if _, err := Recognize(g); err == nil {
+			t.Fatalf("trial %d: corrupted graph accepted (switch %#x port %d)", trial, sw.GUID, port)
+		}
+	}
+}
+
+// TestCASwapIsValidRelabeling: exchanging two CAs (e.g. recabling two hosts)
+// is NOT a corruption — the recognizer must accept it and simply assign the
+// labels the new attachment points imply.
+func TestCASwapIsValidRelabeling(t *testing.T) {
+	tr := topology.MustNew(8, 2)
+	g, f := explore(t, tr, 0)
+	// Swap the attachment bookkeeping of two CAs on different leaves.
+	a := f.NodeAgent(1).GUID()
+	b := f.NodeAgent(9).GUID()
+	ca, cb := g.CAs[a], g.CAs[b]
+	ca.Switch, cb.Switch = cb.Switch, ca.Switch
+	ca.SwitchPort, cb.SwitchPort = cb.SwitchPort, ca.SwitchPort
+	ca.Path, cb.Path = cb.Path, ca.Path
+	// The leaves' own port records must swap too (the physical recabling).
+	swA, swB := g.Switches[ca.Switch], g.Switches[cb.Switch]
+	swA.PeerGUID[ca.SwitchPort] = a
+	swB.PeerGUID[cb.SwitchPort] = b
+
+	lab, err := Recognize(g)
+	if err != nil {
+		t.Fatalf("valid recabling rejected: %v", err)
+	}
+	// The two CAs trade NodeIDs.
+	if lab.NodeID[a] != 9 || lab.NodeID[b] != 1 {
+		t.Errorf("swap labelled %d/%d, want 9/1", lab.NodeID[a], lab.NodeID[b])
+	}
+}

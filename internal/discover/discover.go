@@ -1,0 +1,364 @@
+// Package discover explores an anonymous InfiniBand fabric through
+// directed-route probes and recognizes it as an m-port n-tree, recovering
+// the FT(m, n) labeling the routing scheme needs — the counterpart of what
+// OpenSM's fat-tree routing engine does when it infers the tree structure
+// from an unlabelled topology.
+//
+// Exploration (Explore) only assumes a Prober that can deliver a
+// NodeInfo-style query along a path of physical exit ports and report what
+// answered: device GUID, device type, port count, and the port the probe
+// arrived on. Recognition (Recognize) then exploits a structural property
+// of the m-port n-tree connection rule
+//
+//	SW<w,l> port k  <->  SW<w',l+1> port k'   with  k = w'_l, k' = w_l + m/2
+//
+// every inter-level edge's two port numbers *are* the two endpoints' label
+// digits at position l. Walking one ancestor chain and one descendant chain
+// from a switch therefore reads off its complete label, and a final pass
+// verifies every edge of the discovered graph against the reconstructed
+// tree, so a wrong or damaged topology is rejected rather than mislabelled.
+package discover
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"mlid/internal/topology"
+)
+
+// Device is what a probe learns about the device that answered it.
+type Device struct {
+	GUID     uint64
+	IsSwitch bool
+	// NumPorts is the device's external port count.
+	NumPorts int
+	// ArrivalPort is the physical port the probe arrived on — how the
+	// explorer learns the far end of the link it just crossed.
+	ArrivalPort int
+}
+
+// Prober delivers a discovery query along a directed route of physical exit
+// ports (entry i is the exit port of hop i; an empty path addresses the
+// origin itself) and returns the answering device.
+type Prober interface {
+	Probe(path []uint8) (Device, error)
+}
+
+// Switch is a discovered switch and its wiring.
+type Switch struct {
+	GUID     uint64
+	NumPorts int
+	// Path is a directed route from the subnet manager to this switch.
+	Path []uint8
+	// PeerGUID / PeerPort record, per physical port, the neighbour and the
+	// neighbour's physical port; PeerIsCA marks channel-adapter neighbours.
+	PeerGUID map[int]uint64
+	PeerPort map[int]int
+	PeerIsCA map[int]bool
+}
+
+// CA is a discovered channel adapter (processing node endport).
+type CA struct {
+	GUID uint64
+	// Path is a directed route from the subnet manager to this CA.
+	Path []uint8
+	// Switch and SwitchPort name its attachment point.
+	Switch     uint64
+	SwitchPort int
+}
+
+// Graph is the explored fabric.
+type Graph struct {
+	// Origin is the GUID of the CA hosting the subnet manager.
+	Origin uint64
+	// Switches and CAs index the discovered devices by GUID.
+	Switches map[uint64]*Switch
+	CAs      map[uint64]*CA
+}
+
+// Explore walks the fabric breadth-first from the prober's origin CA,
+// probing every switch port once. maxDevices bounds the sweep against
+// miswired fabrics; 0 means a generous default.
+func Explore(p Prober, maxDevices int) (*Graph, error) {
+	if maxDevices <= 0 {
+		maxDevices = 1 << 20
+	}
+	self, err := p.Probe(nil)
+	if err != nil {
+		return nil, fmt.Errorf("discover: probing origin: %w", err)
+	}
+	if self.IsSwitch {
+		return nil, fmt.Errorf("discover: origin device %#x is a switch, want a CA", self.GUID)
+	}
+	g := &Graph{
+		Origin:   self.GUID,
+		Switches: make(map[uint64]*Switch),
+		CAs:      make(map[uint64]*CA),
+	}
+	g.CAs[self.GUID] = &CA{GUID: self.GUID}
+
+	first, err := p.Probe([]uint8{1})
+	if err != nil {
+		return nil, fmt.Errorf("discover: probing origin's switch: %w", err)
+	}
+	if !first.IsSwitch {
+		return nil, fmt.Errorf("discover: origin's neighbour %#x is not a switch", first.GUID)
+	}
+	root := &Switch{
+		GUID:     first.GUID,
+		NumPorts: first.NumPorts,
+		Path:     []uint8{1},
+		PeerGUID: map[int]uint64{},
+		PeerPort: map[int]int{},
+		PeerIsCA: map[int]bool{},
+	}
+	g.Switches[first.GUID] = root
+	g.CAs[self.GUID].Switch = first.GUID
+	g.CAs[self.GUID].SwitchPort = first.ArrivalPort
+
+	queue := []*Switch{root}
+	for len(queue) > 0 {
+		sw := queue[0]
+		queue = queue[1:]
+		for port := 1; port <= sw.NumPorts; port++ {
+			path := append(append([]uint8{}, sw.Path...), uint8(port))
+			dev, err := p.Probe(path)
+			if err != nil {
+				return nil, fmt.Errorf("discover: probing %#x port %d: %w", sw.GUID, port, err)
+			}
+			sw.PeerGUID[port] = dev.GUID
+			sw.PeerPort[port] = dev.ArrivalPort
+			sw.PeerIsCA[port] = !dev.IsSwitch
+			if dev.IsSwitch {
+				if _, seen := g.Switches[dev.GUID]; !seen {
+					if len(g.Switches)+len(g.CAs) >= maxDevices {
+						return nil, fmt.Errorf("discover: device limit %d exceeded", maxDevices)
+					}
+					next := &Switch{
+						GUID:     dev.GUID,
+						NumPorts: dev.NumPorts,
+						Path:     path,
+						PeerGUID: map[int]uint64{},
+						PeerPort: map[int]int{},
+						PeerIsCA: map[int]bool{},
+					}
+					g.Switches[dev.GUID] = next
+					queue = append(queue, next)
+				}
+			} else if _, seen := g.CAs[dev.GUID]; !seen {
+				if len(g.Switches)+len(g.CAs) >= maxDevices {
+					return nil, fmt.Errorf("discover: device limit %d exceeded", maxDevices)
+				}
+				g.CAs[dev.GUID] = &CA{GUID: dev.GUID, Path: path, Switch: sw.GUID, SwitchPort: port}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Labeling maps the discovered devices onto a reconstructed FT(m, n).
+type Labeling struct {
+	Tree *topology.Tree
+	// SwitchID / NodeID map device GUIDs to the tree's dense identifiers.
+	SwitchID map[uint64]topology.SwitchID
+	NodeID   map[uint64]topology.NodeID
+}
+
+// Recognize reconstructs the m-port n-tree labeling of an explored graph,
+// or reports why the graph is not a healthy FT(m, n).
+func Recognize(g *Graph) (*Labeling, error) {
+	if len(g.Switches) == 0 {
+		return nil, fmt.Errorf("discover: no switches found")
+	}
+	// Uniform switch arity, power of two, >= 4.
+	m := -1
+	for _, sw := range g.Switches {
+		if m == -1 {
+			m = sw.NumPorts
+		}
+		if sw.NumPorts != m {
+			return nil, fmt.Errorf("discover: mixed switch arities %d and %d", m, sw.NumPorts)
+		}
+	}
+	if m < 4 || m&(m-1) != 0 {
+		return nil, fmt.Errorf("discover: switch arity %d is not a power of two >= 4", m)
+	}
+	h := m / 2
+
+	// The graph must be internally consistent before any structural
+	// reasoning: every switch-side peer must itself be a discovered switch.
+	for guid, sw := range g.Switches {
+		for port := 1; port <= sw.NumPorts; port++ {
+			peer, ok := sw.PeerGUID[port]
+			if !ok {
+				return nil, fmt.Errorf("discover: switch %#x port %d unprobed", guid, port)
+			}
+			if sw.PeerIsCA[port] {
+				continue
+			}
+			if _, exists := g.Switches[peer]; !exists {
+				return nil, fmt.Errorf("discover: switch %#x port %d references unknown switch %#x", guid, port, peer)
+			}
+		}
+	}
+
+	// Levels: multi-source BFS from the leaf switches (those with CAs).
+	dist := make(map[uint64]int, len(g.Switches))
+	var frontier []uint64
+	for guid, sw := range g.Switches {
+		for port := 1; port <= sw.NumPorts; port++ {
+			if sw.PeerIsCA[port] {
+				dist[guid] = 0
+				frontier = append(frontier, guid)
+				break
+			}
+		}
+	}
+	if len(frontier) == 0 {
+		return nil, fmt.Errorf("discover: no leaf switches (no CAs attached)")
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	maxDist := 0
+	for len(frontier) > 0 {
+		guid := frontier[0]
+		frontier = frontier[1:]
+		sw := g.Switches[guid]
+		for port := 1; port <= sw.NumPorts; port++ {
+			peer, ok := sw.PeerGUID[port]
+			if !ok || sw.PeerIsCA[port] {
+				continue
+			}
+			if _, seen := dist[peer]; !seen {
+				dist[peer] = dist[guid] + 1
+				if dist[peer] > maxDist {
+					maxDist = dist[peer]
+				}
+				frontier = append(frontier, peer)
+			}
+		}
+	}
+	if len(dist) != len(g.Switches) {
+		return nil, fmt.Errorf("discover: %d switches unreachable from the leaf level", len(g.Switches)-len(dist))
+	}
+	n := maxDist + 1
+	if bits.Len(uint(h))-1 == 0 {
+		return nil, fmt.Errorf("discover: degenerate arity")
+	}
+	tree, err := topology.New(m, n)
+	if err != nil {
+		return nil, fmt.Errorf("discover: recognized parameters rejected: %w", err)
+	}
+	if len(g.Switches) != tree.Switches() {
+		return nil, fmt.Errorf("discover: %d switches, FT(%d,%d) needs %d", len(g.Switches), m, n, tree.Switches())
+	}
+	if len(g.CAs) != tree.Nodes() {
+		return nil, fmt.Errorf("discover: %d CAs, FT(%d,%d) needs %d", len(g.CAs), m, n, tree.Nodes())
+	}
+	level := func(guid uint64) int { return n - 1 - dist[guid] }
+
+	// Helper: a deterministic choice of a port whose switch peer sits at
+	// the wanted level.
+	portToLevel := func(sw *Switch, want int) (int, uint64, bool) {
+		for port := 1; port <= sw.NumPorts; port++ {
+			peer, ok := sw.PeerGUID[port]
+			if !ok || sw.PeerIsCA[port] {
+				continue
+			}
+			if level(peer) == want {
+				return port, peer, true
+			}
+		}
+		return 0, 0, false
+	}
+
+	// Label every switch by reading digits off one ancestor chain and one
+	// descendant chain (see the package comment).
+	lab := &Labeling{
+		Tree:     tree,
+		SwitchID: make(map[uint64]topology.SwitchID, len(g.Switches)),
+		NodeID:   make(map[uint64]topology.NodeID, len(g.CAs)),
+	}
+	usedSwitch := make(map[topology.SwitchID]uint64)
+	for guid, sw := range g.Switches {
+		l := level(guid)
+		digits := make([]int, n-1)
+		// Ancestor chain fills positions l-1 .. 0: at each step the
+		// parent's port toward the current switch is the digit.
+		cur := sw
+		for pos := l - 1; pos >= 0; pos-- {
+			q, parentGUID, ok := portToLevel(cur, pos)
+			if !ok {
+				return nil, fmt.Errorf("discover: switch %#x (level %d) has no parent at level %d", cur.GUID, level(cur.GUID), pos)
+			}
+			digits[pos] = cur.PeerPort[q] - 1
+			cur = g.Switches[parentGUID]
+		}
+		// Descendant chain fills positions l .. n-2: at each step the
+		// child's port toward the current switch, minus m/2, is the digit.
+		cur = sw
+		for pos := l; pos <= n-2; pos++ {
+			q, childGUID, ok := portToLevel(cur, pos+1)
+			if !ok {
+				return nil, fmt.Errorf("discover: switch %#x (level %d) has no child at level %d", cur.GUID, level(cur.GUID), pos+1)
+			}
+			digits[pos] = cur.PeerPort[q] - 1 - h
+			cur = g.Switches[childGUID]
+		}
+		id, err := tree.SwitchFromDigits(digits, l)
+		if err != nil {
+			return nil, fmt.Errorf("discover: switch %#x labelled %v level %d: %w", guid, digits, l, err)
+		}
+		if prev, dup := usedSwitch[id]; dup {
+			return nil, fmt.Errorf("discover: switches %#x and %#x both labelled %s", prev, guid, tree.SwitchLabel(id))
+		}
+		usedSwitch[id] = guid
+		lab.SwitchID[guid] = id
+	}
+
+	// Verify every switch port against the reconstructed tree: switch-side
+	// edges must match the FT wiring exactly, and CA-marked ports must sit
+	// where the tree attaches a node, hold a discovered CA that agrees
+	// about the attachment, and see the CA's only port (1).
+	caByGUID := g.CAs
+	for guid, sw := range g.Switches {
+		id := lab.SwitchID[guid]
+		for port := 1; port <= sw.NumPorts; port++ {
+			peer := sw.PeerGUID[port]
+			want := tree.SwitchNeighbor(id, port-1)
+			if sw.PeerIsCA[port] {
+				ca, known := caByGUID[peer]
+				if want.Kind != topology.KindNode ||
+					!known || ca.Switch != guid || ca.SwitchPort != port ||
+					sw.PeerPort[port] != 1 {
+					return nil, fmt.Errorf("discover: CA attachment at %s port %d does not match FT(%d,%d)", tree.SwitchLabel(id), port, m, n)
+				}
+				continue
+			}
+			if want.Kind != topology.KindSwitch ||
+				lab.SwitchID[peer] != want.Switch ||
+				sw.PeerPort[port]-1 != want.Port {
+				return nil, fmt.Errorf("discover: edge %s port %d does not match FT(%d,%d) wiring", tree.SwitchLabel(id), port, m, n)
+			}
+		}
+	}
+
+	// Label the CAs from their attachment point and verify.
+	usedNode := make(map[topology.NodeID]uint64)
+	for guid, ca := range g.CAs {
+		leafID, ok := lab.SwitchID[ca.Switch]
+		if !ok {
+			return nil, fmt.Errorf("discover: CA %#x attached to unknown switch %#x", guid, ca.Switch)
+		}
+		want := tree.SwitchNeighbor(leafID, ca.SwitchPort-1)
+		if want.Kind != topology.KindNode {
+			return nil, fmt.Errorf("discover: CA %#x attached to non-leaf port %s:%d", guid, tree.SwitchLabel(leafID), ca.SwitchPort)
+		}
+		if prev, dup := usedNode[want.Node]; dup {
+			return nil, fmt.Errorf("discover: CAs %#x and %#x both labelled %s", prev, guid, tree.NodeLabel(want.Node))
+		}
+		usedNode[want.Node] = guid
+		lab.NodeID[guid] = want.Node
+	}
+	return lab, nil
+}

@@ -1,0 +1,181 @@
+package discover
+
+import (
+	"strings"
+	"testing"
+
+	"mlid/internal/ib"
+	"mlid/internal/topology"
+)
+
+// fabricProber adapts an SMA fabric to the Prober interface, exactly as the
+// MAD subnet manager does.
+type fabricProber struct {
+	f      *ib.SMAFabric
+	origin topology.NodeID
+}
+
+func (p fabricProber) Probe(path []uint8) (Device, error) {
+	smp := &ib.SMP{Method: ib.MethodGet, Attribute: ib.AttrNodeInfo, HopCount: uint8(len(path))}
+	copy(smp.InitialPath[1:], path)
+	if err := p.f.Send(p.origin, smp); err != nil {
+		return Device{}, err
+	}
+	ni := ib.DecodeNodeInfo(&smp.Data)
+	return Device{
+		GUID:        ni.GUID,
+		IsSwitch:    ni.Type == ib.NodeTypeSwitch,
+		NumPorts:    int(ni.NumPorts),
+		ArrivalPort: int(ni.LocalPort),
+	}, nil
+}
+
+func explore(t *testing.T, tr *topology.Tree, origin topology.NodeID) (*Graph, *ib.SMAFabric) {
+	t.Helper()
+	f := ib.NewSMAFabric(tr)
+	g, err := Explore(fabricProber{f: f, origin: origin}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, f
+}
+
+func TestExploreFindsEverything(t *testing.T) {
+	for _, dims := range [][2]int{{4, 1}, {4, 2}, {4, 3}, {8, 2}, {8, 3}, {16, 2}} {
+		tr := topology.MustNew(dims[0], dims[1])
+		g, f := explore(t, tr, 0)
+		if len(g.Switches) != tr.Switches() {
+			t.Fatalf("%s: %d switches discovered, want %d", tr, len(g.Switches), tr.Switches())
+		}
+		if len(g.CAs) != tr.Nodes() {
+			t.Fatalf("%s: %d CAs discovered, want %d", tr, len(g.CAs), tr.Nodes())
+		}
+		if g.Origin != f.NodeAgent(0).GUID() {
+			t.Fatalf("%s: wrong origin GUID", tr)
+		}
+		// Every switch knows all of its ports' peers.
+		for guid, sw := range g.Switches {
+			if len(sw.PeerGUID) != tr.M() {
+				t.Fatalf("%s: switch %#x has %d peers", tr, guid, len(sw.PeerGUID))
+			}
+		}
+	}
+}
+
+func TestExploreFromAnyOrigin(t *testing.T) {
+	tr := topology.MustNew(4, 3)
+	for origin := 0; origin < tr.Nodes(); origin += 5 {
+		g, _ := explore(t, tr, topology.NodeID(origin))
+		if len(g.Switches) != tr.Switches() || len(g.CAs) != tr.Nodes() {
+			t.Fatalf("origin %d: %d/%d discovered", origin, len(g.Switches), len(g.CAs))
+		}
+	}
+}
+
+func TestExploreDeviceLimit(t *testing.T) {
+	tr := topology.MustNew(8, 2)
+	f := ib.NewSMAFabric(tr)
+	_, err := Explore(fabricProber{f: f, origin: 0}, 5)
+	if err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("limit not enforced: %v", err)
+	}
+}
+
+// TestRecognizeRecoversExactLabels: the recovered labeling must match the
+// original construction exactly — the edge port numbers fully determine the
+// digits.
+func TestRecognizeRecoversExactLabels(t *testing.T) {
+	for _, dims := range [][2]int{{4, 1}, {4, 2}, {4, 3}, {4, 4}, {8, 2}, {8, 3}, {16, 2}} {
+		tr := topology.MustNew(dims[0], dims[1])
+		g, f := explore(t, tr, 0)
+		lab, err := Recognize(g)
+		if err != nil {
+			t.Fatalf("%s: %v", tr, err)
+		}
+		if lab.Tree.M() != tr.M() || lab.Tree.N() != tr.N() {
+			t.Fatalf("%s: recognized FT(%d,%d)", tr, lab.Tree.M(), lab.Tree.N())
+		}
+		for s := 0; s < tr.Switches(); s++ {
+			guid := f.SwitchAgent(topology.SwitchID(s)).GUID()
+			if lab.SwitchID[guid] != topology.SwitchID(s) {
+				t.Fatalf("%s: switch %d recognized as %d", tr, s, lab.SwitchID[guid])
+			}
+		}
+		for p := 0; p < tr.Nodes(); p++ {
+			guid := f.NodeAgent(topology.NodeID(p)).GUID()
+			if lab.NodeID[guid] != topology.NodeID(p) {
+				t.Fatalf("%s: node %d recognized as %d", tr, p, lab.NodeID[guid])
+			}
+		}
+	}
+}
+
+func TestRecognizeRejectsDamage(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+
+	// Missing switch.
+	g, _ := explore(t, tr, 0)
+	for guid := range g.Switches {
+		delete(g.Switches, guid)
+		break
+	}
+	if _, err := Recognize(g); err == nil {
+		t.Error("graph with missing switch accepted")
+	}
+
+	// Swapped port numbers on one edge (miswiring).
+	g, _ = explore(t, tr, 0)
+	for _, sw := range g.Switches {
+		for port := 1; port <= sw.NumPorts; port++ {
+			if !sw.PeerIsCA[port] {
+				sw.PeerPort[port] = sw.PeerPort[port]%sw.NumPorts + 1
+				goto corrupted
+			}
+		}
+	}
+corrupted:
+	if _, err := Recognize(g); err == nil {
+		t.Error("miswired graph accepted")
+	}
+
+	// Extra CA on the same leaf port (duplicate attachment).
+	g, _ = explore(t, tr, 0)
+	var anyCA *CA
+	for _, ca := range g.CAs {
+		if ca.Path != nil {
+			anyCA = ca
+			break
+		}
+	}
+	g.CAs[0xfeed] = &CA{GUID: 0xfeed, Switch: anyCA.Switch, SwitchPort: anyCA.SwitchPort, Path: anyCA.Path}
+	if _, err := Recognize(g); err == nil {
+		t.Error("duplicate CA attachment accepted")
+	}
+
+	// Empty graph.
+	if _, err := Recognize(&Graph{Switches: map[uint64]*Switch{}, CAs: map[uint64]*CA{}}); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestRecognizeRejectsMixedArity(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+	g, _ := explore(t, tr, 0)
+	for _, sw := range g.Switches {
+		sw.NumPorts = 6
+		break
+	}
+	if _, err := Recognize(g); err == nil || !strings.Contains(err.Error(), "arities") {
+		t.Error("mixed arity accepted")
+	}
+}
+
+func TestRecognizeRejectsNonPowerOfTwo(t *testing.T) {
+	g := &Graph{
+		Switches: map[uint64]*Switch{1: {GUID: 1, NumPorts: 6, PeerGUID: map[int]uint64{}, PeerPort: map[int]int{}, PeerIsCA: map[int]bool{}}},
+		CAs:      map[uint64]*CA{},
+	}
+	if _, err := Recognize(g); err == nil {
+		t.Error("arity 6 accepted")
+	}
+}

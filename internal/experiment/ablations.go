@@ -1,0 +1,184 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"mlid/internal/core"
+	"mlid/internal/ib"
+	"mlid/internal/sim"
+	"mlid/internal/topology"
+	"mlid/internal/traffic"
+)
+
+// AblationRow is one measured ablation point.
+type AblationRow struct {
+	// Experiment ids follow DESIGN.md's index (EX-A, EX-B, ...).
+	Experiment string
+	Setting    string
+	// AcceptedBns is the measured accepted traffic (bytes/ns/node) and
+	// MeanLatencyNs the mean latency of the run.
+	AcceptedBns   float64
+	MeanLatencyNs float64
+}
+
+// ablationSpec is one simulation of the ablation suite.
+type ablationSpec struct {
+	experiment, setting string
+	scheme              core.Scheme
+	pattern             func(t *topology.Tree) traffic.Pattern
+	mutate              func(cfg *sim.Config)
+}
+
+// RunAblations executes the repository's ablation suite (DESIGN.md EX-A,
+// EX-B, EX-C, EX-F, EX-G, EX-H and the switching-mode study) on the 8-port
+// 2-tree and returns the measured rows in execution order. quick shortens
+// the windows.
+func RunAblations(quick bool) ([]AblationRow, error) {
+	tr, err := topology.New(8, 2)
+	if err != nil {
+		return nil, err
+	}
+	warm, meas := sim.Time(60_000), sim.Time(200_000)
+	if quick {
+		warm, meas = 20_000, 60_000
+	}
+	centric := func(t *topology.Tree) traffic.Pattern {
+		return traffic.Centric{Nodes: t.Nodes(), Hotspot: 0, Fraction: 0.5}
+	}
+	uniform := func(t *topology.Tree) traffic.Pattern {
+		return traffic.Uniform{Nodes: t.Nodes()}
+	}
+	bitcomp := func(t *topology.Tree) traffic.Pattern {
+		return traffic.BitComplement(t.Nodes())
+	}
+
+	var specs []ablationSpec
+	// EX-A: virtual lanes beyond the paper's 4.
+	for _, vls := range []int{1, 4, 8} {
+		vls := vls
+		for _, s := range core.Schemes() {
+			specs = append(specs, ablationSpec{
+				experiment: "EX-A vl-count", setting: fmt.Sprintf("%s %dVL", s.Name(), vls),
+				scheme: s, pattern: centric,
+				mutate: func(cfg *sim.Config) { cfg.DataVLs = vls },
+			})
+		}
+	}
+	// EX-B: buffer depth.
+	for _, buf := range []int{1, 2, 4} {
+		buf := buf
+		specs = append(specs, ablationSpec{
+			experiment: "EX-B buffers", setting: fmt.Sprintf("MLID %d-pkt buffers", buf),
+			scheme: core.NewMLID(), pattern: centric,
+			mutate: func(cfg *sim.Config) { cfg.BufPackets = buf },
+		})
+	}
+	// EX-C: packet size.
+	for _, size := range []int{64, 256, 1024} {
+		size := size
+		specs = append(specs, ablationSpec{
+			experiment: "EX-C pktsize", setting: fmt.Sprintf("MLID %dB packets", size),
+			scheme: core.NewMLID(), pattern: uniform,
+			mutate: func(cfg *sim.Config) { cfg.PacketSize = size; cfg.OfferedLoad = 0.3 },
+		})
+	}
+	// EX-F: reception model.
+	for _, s := range core.Schemes() {
+		s := s
+		specs = append(specs,
+			ablationSpec{
+				experiment: "EX-F reception", setting: s.Name() + " ideal",
+				scheme: s, pattern: centric,
+				mutate: func(cfg *sim.Config) { cfg.Reception = sim.ReceptionIdeal },
+			},
+			ablationSpec{
+				experiment: "EX-F reception", setting: s.Name() + " link-limited",
+				scheme: s, pattern: centric,
+				mutate: func(cfg *sim.Config) { cfg.Reception = sim.ReceptionLink },
+			})
+	}
+	// EX-G: path selection on a permutation.
+	specs = append(specs,
+		ablationSpec{
+			experiment: "EX-G pathselect", setting: "MLID rank (paper)",
+			scheme: core.NewMLID(), pattern: bitcomp,
+			mutate: func(cfg *sim.Config) { cfg.OfferedLoad = 0.7 },
+		},
+		ablationSpec{
+			experiment: "EX-G pathselect", setting: "MLID random offset",
+			scheme: core.NewMLID(), pattern: bitcomp,
+			mutate: func(cfg *sim.Config) { cfg.OfferedLoad = 0.7; cfg.PathSelect = sim.PathSelectRandom },
+		})
+	// EX-H: VL mapping under the hotspot.
+	for _, s := range core.Schemes() {
+		s := s
+		specs = append(specs,
+			ablationSpec{
+				experiment: "EX-H vlmap", setting: s.Name() + " round-robin (default)",
+				scheme: s, pattern: centric,
+				mutate: func(cfg *sim.Config) { cfg.DataVLs = 2 },
+			},
+			ablationSpec{
+				experiment: "EX-H vlmap", setting: s.Name() + " DLID-pinned",
+				scheme: s, pattern: centric,
+				mutate: func(cfg *sim.Config) { cfg.DataVLs = 2; cfg.VLSelect = sim.VLByDLID },
+			})
+	}
+	// Switching discipline.
+	specs = append(specs,
+		ablationSpec{
+			experiment: "switching", setting: "MLID cut-through (paper)",
+			scheme: core.NewMLID(), pattern: uniform,
+			mutate: func(cfg *sim.Config) { cfg.OfferedLoad = 0.3 },
+		},
+		ablationSpec{
+			experiment: "switching", setting: "MLID store-and-forward",
+			scheme: core.NewMLID(), pattern: uniform,
+			mutate: func(cfg *sim.Config) { cfg.OfferedLoad = 0.3; cfg.Switching = sim.SwitchingSAF },
+		})
+
+	subnets := map[string]*ib.Subnet{}
+	rows := make([]AblationRow, 0, len(specs))
+	for _, spec := range specs {
+		sn, ok := subnets[spec.scheme.Name()]
+		if !ok {
+			sn, err = (&ib.SubnetManager{Tree: tr, Engine: spec.scheme}).Configure()
+			if err != nil {
+				return nil, err
+			}
+			subnets[spec.scheme.Name()] = sn
+		}
+		cfg := sim.Config{
+			Subnet:      sn,
+			Pattern:     spec.pattern(tr),
+			OfferedLoad: 0.5,
+			WarmupNs:    warm,
+			MeasureNs:   meas,
+			Seed:        71,
+		}
+		spec.mutate(&cfg)
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: ablation %s/%s: %w", spec.experiment, spec.setting, err)
+		}
+		rows = append(rows, AblationRow{
+			Experiment:    spec.experiment,
+			Setting:       spec.setting,
+			AcceptedBns:   res.Accepted,
+			MeanLatencyNs: res.MeanLatencyNs,
+		})
+	}
+	return rows, nil
+}
+
+// AblationTable renders the rows as a markdown table.
+func AblationTable(rows []AblationRow) string {
+	var b strings.Builder
+	b.WriteString("| experiment | setting | accepted (B/ns/node) | mean latency (ns) |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s | %s | %.4f | %.0f |\n", r.Experiment, r.Setting, r.AcceptedBns, r.MeanLatencyNs)
+	}
+	return b.String()
+}

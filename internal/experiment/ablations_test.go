@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAblationsQuick(t *testing.T) {
+	rows, err := RunAblations(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 15 {
+		t.Fatalf("%d ablation rows", len(rows))
+	}
+	byKey := map[string]AblationRow{}
+	for _, r := range rows {
+		if r.AcceptedBns <= 0 || r.MeanLatencyNs <= 0 {
+			t.Fatalf("empty row: %+v", r)
+		}
+		byKey[r.Experiment+"/"+r.Setting] = r
+	}
+	// EX-F: ideal reception separates the schemes; link-limited converges.
+	mi := byKey["EX-F reception/MLID ideal"].AcceptedBns
+	si := byKey["EX-F reception/SLID ideal"].AcceptedBns
+	ml := byKey["EX-F reception/MLID link-limited"].AcceptedBns
+	sl := byKey["EX-F reception/SLID link-limited"].AcceptedBns
+	if mi < 1.5*si {
+		t.Errorf("ideal reception: MLID %.4f not >> SLID %.4f", mi, si)
+	}
+	if r := ml / sl; r < 0.9 || r > 1.1 {
+		t.Errorf("link-limited ratio %.2f, expected ~1", r)
+	}
+	// EX-G: rank selection beats random on the permutation.
+	if byKey["EX-G pathselect/MLID rank (paper)"].AcceptedBns <=
+		byKey["EX-G pathselect/MLID random offset"].AcceptedBns {
+		t.Error("random offsets beat rank selection on bit-complement")
+	}
+	// Switching: store-and-forward is slower at equal accepted load.
+	if byKey["switching/MLID store-and-forward"].MeanLatencyNs <=
+		byKey["switching/MLID cut-through (paper)"].MeanLatencyNs {
+		t.Error("SAF not slower than VCT")
+	}
+	// Rendering.
+	table := AblationTable(rows)
+	if !strings.Contains(table, "EX-A vl-count") || !strings.Contains(table, "| experiment |") {
+		t.Errorf("table:\n%s", table)
+	}
+}

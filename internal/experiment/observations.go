@@ -1,0 +1,233 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Observation is one of the paper's evaluation claims, checked against
+// measured figures.
+type Observation struct {
+	// ID matches the paper's numbering (O1..O5) plus R-prefixed remarks.
+	ID string
+	// Claim paraphrases the paper's statement.
+	Claim string
+	// Holds reports whether the measurements support the claim.
+	Holds bool
+	// Detail carries the numbers behind the verdict.
+	Detail string
+}
+
+// peak returns the named curve's peak accepted traffic, or 0.
+func peak(f Figure, label string) float64 {
+	if c := f.Curve(label); c != nil {
+		return c.PeakAccepted()
+	}
+	return 0
+}
+
+// CheckObservations evaluates the paper's Observations 1-5 against a set of
+// completed figures (any subset of the eight; checks that lack data report
+// Holds = false with an explanatory detail).
+func CheckObservations(figs []Figure) []Observation {
+	var uniform, centric []Figure
+	for _, f := range figs {
+		switch f.Spec.Pattern {
+		case "uniform":
+			uniform = append(uniform, f)
+		case "centric":
+			centric = append(centric, f)
+		}
+	}
+	var out []Observation
+
+	// Observation 1: uniform traffic — MLID throughput >= SLID for small
+	// port counts, strictly higher for large port counts.
+	{
+		holds := len(uniform) > 0
+		var det []string
+		for _, f := range uniform {
+			m, s := peak(f, "MLID 1VL"), peak(f, "SLID 1VL")
+			ratio := ratioOf(m, s)
+			det = append(det, fmt.Sprintf("%s: MLID/SLID@1VL=%.2f", f.Spec.Network, ratio))
+			if f.Spec.Network.M >= 16 {
+				holds = holds && ratio > 1.02
+			} else {
+				holds = holds && ratio > 0.97
+			}
+		}
+		out = append(out, Observation{
+			ID:     "O1",
+			Claim:  "Uniform traffic: MLID throughput is a little higher or equal to SLID for small port counts, and higher for large port counts.",
+			Holds:  holds,
+			Detail: strings.Join(det, "; "),
+		})
+	}
+
+	// Observation 2: uniform traffic, low load — MLID latency <= SLID's.
+	{
+		holds := len(uniform) > 0
+		var det []string
+		for _, f := range uniform {
+			mc, sc := f.Curve("MLID 1VL"), f.Curve("SLID 1VL")
+			if mc == nil || sc == nil {
+				holds = false
+				continue
+			}
+			m, s := mc.LowLoadLatency(), sc.LowLoadLatency()
+			det = append(det, fmt.Sprintf("%s: %.0f vs %.0f ns", f.Spec.Network, m, s))
+			holds = holds && m <= s*1.05
+		}
+		out = append(out, Observation{
+			ID:     "O2",
+			Claim:  "Uniform traffic at low load: MLID average latency is less than or equal to SLID's.",
+			Holds:  holds,
+			Detail: strings.Join(det, "; "),
+		})
+	}
+
+	// Observation 3: centric traffic — MLID throughput much higher than
+	// SLID with one VL; still higher with more VLs; for large port counts,
+	// MLID@1VL beats SLID@2VL.
+	{
+		holds := len(centric) > 0
+		var det []string
+		for _, f := range centric {
+			m1, s1 := peak(f, "MLID 1VL"), peak(f, "SLID 1VL")
+			det = append(det, fmt.Sprintf("%s: 1VL ratio %.2f", f.Spec.Network, ratioOf(m1, s1)))
+			holds = holds && m1 > 1.5*s1
+			for _, v := range f.Spec.VLs {
+				if v == 1 {
+					continue
+				}
+				holds = holds && peak(f, fmt.Sprintf("MLID %dVL", v)) > peak(f, fmt.Sprintf("SLID %dVL", v))
+			}
+			if f.Spec.Network.M >= 16 && hasVL(f.Spec.VLs, 2) {
+				holds = holds && m1 > peak(f, "SLID 2VL")
+			}
+		}
+		out = append(out, Observation{
+			ID:     "O3",
+			Claim:  "Centric traffic: MLID throughput is much higher than SLID's with one VL, still higher with more VLs, and MLID@1VL exceeds SLID@2VL on large port counts.",
+			Holds:  holds,
+			Detail: strings.Join(det, "; "),
+		})
+	}
+
+	// Observation 4: centric traffic, small port counts, one VL — MLID
+	// latency below SLID's (MLID utilizes the offered bandwidth better).
+	{
+		holds := false
+		var det []string
+		for _, f := range centric {
+			if f.Spec.Network.M > 8 {
+				continue
+			}
+			mc, sc := f.Curve("MLID 1VL"), f.Curve("SLID 1VL")
+			if mc == nil || sc == nil {
+				continue
+			}
+			m, s := mc.LowLoadLatency(), sc.LowLoadLatency()
+			det = append(det, fmt.Sprintf("%s: %.0f vs %.0f ns", f.Spec.Network, m, s))
+			holds = m <= s
+		}
+		out = append(out, Observation{
+			ID:     "O4",
+			Claim:  "Centric traffic, small port counts, one VL: MLID average latency is below SLID's at comparable load.",
+			Holds:  holds,
+			Detail: strings.Join(det, "; "),
+		})
+	}
+
+	// Observation 5 / Remark 3: the MLID improvement grows with network
+	// size — compare the smallest and largest centric networks' 1VL ratios.
+	{
+		holds := false
+		det := "needs at least two centric figures"
+		if len(centric) >= 2 {
+			first, last := centric[0], centric[0]
+			for _, f := range centric[1:] {
+				if f.Spec.Network.M*nodesOf(f) < first.Spec.Network.M*nodesOf(first) {
+					first = f
+				}
+				if nodesOf(f) > nodesOf(last) {
+					last = f
+				}
+			}
+			rFirst := ratioOf(peak(first, "MLID 1VL"), peak(first, "SLID 1VL"))
+			rLast := ratioOf(peak(last, "MLID 1VL"), peak(last, "SLID 1VL"))
+			holds = rLast >= rFirst*0.95 && rLast > 1.5
+			det = fmt.Sprintf("%s ratio %.2f -> %s ratio %.2f", first.Spec.Network, rFirst, last.Spec.Network, rLast)
+		}
+		out = append(out, Observation{
+			ID:     "O5",
+			Claim:  "The MLID improvement over SLID stays pronounced (and tends to grow) as the network scales up.",
+			Holds:  holds,
+			Detail: det,
+		})
+	}
+	return out
+}
+
+func ratioOf(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func hasVL(vls []int, v int) bool {
+	for _, x := range vls {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func nodesOf(f Figure) int {
+	h := f.Spec.Network.M / 2
+	n := 2
+	for i := 0; i < f.Spec.Network.N; i++ {
+		n *= h
+	}
+	return n
+}
+
+// Report renders a markdown reproduction report: Table 1, per-figure curve
+// summaries, and the observation verdicts. It is the generator behind
+// cmd/ibreport and the basis of EXPERIMENTS.md.
+func Report(figs []Figure, obs []Observation) (string, error) {
+	var b strings.Builder
+	b.WriteString("# Reproduction report\n\n")
+
+	rows, err := Table1(PaperNetworks())
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("## Table 1 — simulated networks\n\n")
+	b.WriteString("| network | nodes | switches | links | LMC | LIDs/node | LID space | paths (alpha=0) |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %d | %d | %d |\n",
+			r.Network.String(), r.Nodes, r.Switches, r.Links, r.LMC, r.LIDsPerNode, r.LIDSpace, r.PathsAlpha0)
+	}
+	b.WriteString("\n## Figures — peak accepted traffic (bytes/ns/node)\n\n")
+	b.WriteString("| figure | network | traffic | series | peak accepted | low-load latency (ns) |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, f := range figs {
+		for _, c := range f.Curves {
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %.4f | %.0f |\n",
+				f.Spec.ID, f.Spec.Network, f.Spec.Pattern, c.Label, c.PeakAccepted(), c.LowLoadLatency())
+		}
+	}
+	b.WriteString("\n## Observation verdicts\n\n")
+	for _, o := range obs {
+		mark := "FAIL"
+		if o.Holds {
+			mark = "ok"
+		}
+		fmt.Fprintf(&b, "- **%s** [%s] %s\n  - %s\n", o.ID, mark, o.Claim, o.Detail)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"mlid/internal/stats"
+)
+
+// synthFigure fabricates a figure with given peak accepted values per curve
+// label (low-load latency = the first point's latency).
+func synthFigure(id string, nw Network, pattern string, peaks map[string]float64, lowLat map[string]float64) Figure {
+	spec := FigureSpec{ID: id, Network: nw, Pattern: pattern, VLs: []int{1, 2, 4}, Loads: []float64{0.1, 0.8}}
+	var curves []stats.Curve
+	for label, pk := range peaks {
+		curves = append(curves, stats.Curve{Label: label, Points: []stats.Point{
+			{OfferedLoad: 0.1, Accepted: 0.02, MeanLatencyNs: lowLat[label]},
+			{OfferedLoad: 0.8, Accepted: pk, MeanLatencyNs: 50000},
+		}})
+	}
+	return Figure{Spec: spec, Curves: curves}
+}
+
+func goodFigures() []Figure {
+	mkPeaks := func(m1, s1 float64) map[string]float64 {
+		return map[string]float64{
+			"MLID 1VL": m1, "SLID 1VL": s1,
+			"MLID 2VL": m1 * 1.1, "SLID 2VL": s1 * 1.1,
+			"MLID 4VL": m1 * 1.2, "SLID 4VL": s1 * 1.2,
+		}
+	}
+	lat := func(m, s float64) map[string]float64 {
+		return map[string]float64{
+			"MLID 1VL": m, "SLID 1VL": s,
+			"MLID 2VL": m, "SLID 2VL": s,
+			"MLID 4VL": m, "SLID 4VL": s,
+		}
+	}
+	return []Figure{
+		synthFigure("F1", Network{4, 4}, "uniform", mkPeaks(0.60, 0.59), lat(800, 820)),
+		synthFigure("F3", Network{16, 2}, "uniform", mkPeaks(0.65, 0.52), lat(640, 660)),
+		synthFigure("F5", Network{4, 4}, "centric", mkPeaks(0.25, 0.10), lat(900, 950)),
+		synthFigure("F7", Network{16, 2}, "centric", mkPeaks(0.16, 0.06), lat(700, 750)),
+	}
+}
+
+func TestCheckObservationsAllHold(t *testing.T) {
+	obs := CheckObservations(goodFigures())
+	if len(obs) != 5 {
+		t.Fatalf("%d observations", len(obs))
+	}
+	for _, o := range obs {
+		if !o.Holds {
+			t.Errorf("%s failed: %s (%s)", o.ID, o.Claim, o.Detail)
+		}
+		if o.Detail == "" || o.Claim == "" {
+			t.Errorf("%s missing narrative", o.ID)
+		}
+	}
+}
+
+func TestCheckObservationsDetectsViolations(t *testing.T) {
+	figs := goodFigures()
+	// Make SLID beat MLID on the large-port uniform figure: O1 must fail.
+	for i := range figs {
+		if figs[i].Spec.ID == "F3" {
+			c := figs[i].Curve("MLID 1VL")
+			c.Points[1].Accepted = 0.40 // below SLID's 0.52
+		}
+	}
+	obs := CheckObservations(figs)
+	var o1 *Observation
+	for i := range obs {
+		if obs[i].ID == "O1" {
+			o1 = &obs[i]
+		}
+	}
+	if o1 == nil || o1.Holds {
+		t.Fatalf("O1 not failed: %+v", o1)
+	}
+}
+
+func TestCheckObservationsEmptyInput(t *testing.T) {
+	obs := CheckObservations(nil)
+	if len(obs) != 5 {
+		t.Fatalf("%d observations", len(obs))
+	}
+	for _, o := range obs {
+		if o.Holds {
+			t.Errorf("%s holds with no data", o.ID)
+		}
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	figs := goodFigures()
+	obs := CheckObservations(figs)
+	rep, err := Report(figs, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# Reproduction report",
+		"## Table 1",
+		"8-port 3-tree",
+		"## Figures",
+		"MLID 1VL",
+		"## Observation verdicts",
+		"**O3** [ok]",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// TestObservationsOnRealQuickFigure ties the checker to actual simulation
+// output on a small network: run a centric quick figure and require the O3
+// core claim (MLID >> SLID at 1 VL) to hold on real data.
+func TestObservationsOnRealQuickFigure(t *testing.T) {
+	spec := FigureSpec{
+		ID:        "F5",
+		Network:   Network{8, 2},
+		Pattern:   "centric",
+		Loads:     []float64{0.1, 0.5},
+		VLs:       []int{1, 2},
+		WarmupNs:  30_000,
+		MeasureNs: 100_000,
+		Seed:      5,
+	}
+	fig, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, s := fig.Curve("MLID 1VL").PeakAccepted(), fig.Curve("SLID 1VL").PeakAccepted()
+	if m <= 1.5*s {
+		t.Errorf("real centric quick figure: MLID %.4f not >> SLID %.4f", m, s)
+	}
+}

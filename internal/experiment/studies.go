@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"mlid/internal/core"
+	"mlid/internal/ib"
+	"mlid/internal/sim"
+	"mlid/internal/sm"
+	"mlid/internal/topology"
+	"mlid/internal/traffic"
+)
+
+// ScalingRow is one network's MLID/SLID peak-throughput comparison at one
+// virtual lane — the quantity behind the paper's Observation 5 / Remark 3.
+type ScalingRow struct {
+	Network      Network
+	Nodes        int
+	UniformRatio float64
+	CentricRatio float64
+}
+
+// ScalingStudy measures, for each network, the MLID/SLID peak accepted
+// traffic ratio under uniform and 50%-centric traffic with one VL.
+func ScalingStudy(nets []Network, quick bool) ([]ScalingRow, error) {
+	warm, meas := sim.Time(80_000), sim.Time(250_000)
+	loads := []float64{0.1, 0.2, 0.3, 0.5, 0.8}
+	if quick {
+		warm, meas = 20_000, 60_000
+		loads = []float64{0.2, 0.6}
+	}
+	rows := make([]ScalingRow, 0, len(nets))
+	for _, nw := range nets {
+		tr, err := topology.New(nw.M, nw.N)
+		if err != nil {
+			return nil, err
+		}
+		peak := func(scheme core.Scheme, pat traffic.Pattern) (float64, error) {
+			sn, err := (&ib.SubnetManager{Tree: tr, Engine: scheme}).Configure()
+			if err != nil {
+				return 0, err
+			}
+			best := 0.0
+			for i, load := range loads {
+				res, err := sim.Run(sim.Config{
+					Subnet:      sn,
+					Pattern:     pat,
+					OfferedLoad: load,
+					WarmupNs:    warm,
+					MeasureNs:   meas,
+					Seed:        91 + int64(i),
+				})
+				if err != nil {
+					return 0, err
+				}
+				if res.Accepted > best {
+					best = res.Accepted
+				}
+			}
+			return best, nil
+		}
+		uni := traffic.Uniform{Nodes: tr.Nodes()}
+		cen := traffic.Centric{Nodes: tr.Nodes(), Hotspot: 0, Fraction: 0.5}
+		mu, err := peak(core.NewMLID(), uni)
+		if err != nil {
+			return nil, err
+		}
+		su, err := peak(core.NewSLID(), uni)
+		if err != nil {
+			return nil, err
+		}
+		mc, err := peak(core.NewMLID(), cen)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := peak(core.NewSLID(), cen)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ScalingRow{
+			Network:      nw,
+			Nodes:        tr.Nodes(),
+			UniformRatio: ratioOf(mu, su),
+			CentricRatio: ratioOf(mc, sc),
+		})
+	}
+	return rows, nil
+}
+
+// FormatScaling renders the scaling rows as a markdown table.
+func FormatScaling(rows []ScalingRow) string {
+	var b strings.Builder
+	b.WriteString("| network | nodes | MLID/SLID uniform | MLID/SLID centric |\n|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s | %d | %.2f | %.2f |\n", r.Network, r.Nodes, r.UniformRatio, r.CentricRatio)
+	}
+	return b.String()
+}
+
+// BringupRow records the subnet-manager cost of configuring one network
+// through the management plane.
+type BringupRow struct {
+	Network  Network
+	Nodes    int
+	Switches int
+	Stats    sm.BringupStats
+}
+
+// BringupStudy measures the MAD subnet manager's SMP traffic per network.
+func BringupStudy(nets []Network) ([]BringupRow, error) {
+	rows := make([]BringupRow, 0, len(nets))
+	for _, nw := range nets {
+		tr, err := topology.New(nw.M, nw.N)
+		if err != nil {
+			return nil, err
+		}
+		mgr := &sm.MADSubnetManager{Fabric: ib.NewSMAFabric(tr), Origin: 0, Engine: core.NewMLID()}
+		if _, err := mgr.Configure(); err != nil {
+			return nil, fmt.Errorf("experiment: bring-up of %s: %w", nw, err)
+		}
+		rows = append(rows, BringupRow{
+			Network:  nw,
+			Nodes:    tr.Nodes(),
+			Switches: tr.Switches(),
+			Stats:    mgr.Stats,
+		})
+	}
+	return rows, nil
+}
+
+// FormatBringup renders the bring-up rows as a markdown table.
+func FormatBringup(rows []BringupRow) string {
+	var b strings.Builder
+	b.WriteString("| network | nodes | switches | probes | sets | gets | total SMPs | max hops |\n|---|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %d | %d | %d |\n",
+			r.Network, r.Nodes, r.Switches, r.Stats.Probes, r.Stats.Sets, r.Stats.Gets, r.Stats.Total(), r.Stats.MaxHops)
+	}
+	return b.String()
+}

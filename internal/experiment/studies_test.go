@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalingStudyQuick(t *testing.T) {
+	nets := []Network{{4, 2}, {8, 2}}
+	rows, err := ScalingStudy(nets, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.UniformRatio <= 0 || r.CentricRatio <= 0 {
+			t.Fatalf("empty row %+v", r)
+		}
+		// Centric ratio must clearly exceed 1 (Observation 3).
+		if r.CentricRatio < 1.2 {
+			t.Errorf("%s: centric ratio %.2f", r.Network, r.CentricRatio)
+		}
+	}
+	// Remark 3: the larger network's centric ratio is at least the smaller's
+	// (allowing a little noise).
+	if rows[1].CentricRatio < rows[0].CentricRatio*0.9 {
+		t.Errorf("centric ratio shrank with size: %.2f -> %.2f",
+			rows[0].CentricRatio, rows[1].CentricRatio)
+	}
+	out := FormatScaling(rows)
+	if !strings.Contains(out, "8-port 2-tree") {
+		t.Errorf("table:\n%s", out)
+	}
+	if _, err := ScalingStudy([]Network{{3, 1}}, true); err == nil {
+		t.Error("invalid network accepted")
+	}
+}
+
+func TestBringupStudy(t *testing.T) {
+	nets := []Network{{4, 2}, {8, 2}, {8, 3}}
+	rows, err := BringupStudy(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, r := range rows {
+		wantProbes := 2 + r.Switches*r.Network.M
+		if r.Stats.Probes != wantProbes {
+			t.Errorf("%s: probes %d, want %d", r.Network, r.Stats.Probes, wantProbes)
+		}
+		if i > 0 && r.Stats.Total() <= rows[i-1].Stats.Total() {
+			t.Errorf("SMP count did not grow with network size")
+		}
+	}
+	out := FormatBringup(rows)
+	if !strings.Contains(out, "total SMPs") {
+		t.Errorf("table:\n%s", out)
+	}
+	if _, err := BringupStudy([]Network{{5, 1}}); err == nil {
+		t.Error("invalid network accepted")
+	}
+}

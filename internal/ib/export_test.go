@@ -1,0 +1,82 @@
+package ib_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mlid/internal/core"
+	"mlid/internal/ib"
+	"mlid/internal/topology"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	for _, dims := range [][2]int{{4, 2}, {8, 2}, {4, 3}} {
+		tr := topology.MustNew(dims[0], dims[1])
+		for _, s := range core.Schemes() {
+			orig, err := (&ib.SubnetManager{Tree: tr, Engine: s}).Configure()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := orig.Export()
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := ib.Import(data, s)
+			if err != nil {
+				t.Fatalf("%s %s: %v", tr, s.Name(), err)
+			}
+			if !reflect.DeepEqual(back.Endports, orig.Endports) {
+				t.Fatalf("%s %s: endports differ", tr, s.Name())
+			}
+			for i := range back.LFTs {
+				if !reflect.DeepEqual(back.LFTs[i].Entries(), orig.LFTs[i].Entries()) {
+					t.Fatalf("%s %s: switch %d differs", tr, s.Name(), i)
+				}
+			}
+			// The imported subnet routes.
+			dlid := back.DLID(0, topology.NodeID(tr.Nodes()-1))
+			if _, err := back.OutPort(0, dlid); err != nil {
+				// Switch 0 may not be on the path; just check the DLID is owned.
+				if _, ok := back.OwnerOf(dlid); !ok {
+					t.Fatalf("%s %s: imported subnet broken", tr, s.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestImportRejectsMismatchedEngine(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+	sn, err := (&ib.SubnetManager{Tree: tr, Engine: core.NewMLID()}).Configure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sn.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ib.Import(data, core.NewSLID()); err == nil {
+		t.Error("scheme mismatch accepted")
+	}
+	if _, err := ib.Import(data, nil); err == nil {
+		t.Error("nil engine accepted")
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	if _, err := ib.Import([]byte("not json"), core.NewMLID()); err == nil {
+		t.Error("garbage accepted")
+	}
+	tr := topology.MustNew(4, 2)
+	sn, _ := (&ib.SubnetManager{Tree: tr, Engine: core.NewMLID()}).Configure()
+	data, _ := sn.Export()
+	// Corrupt the topology parameters.
+	bad := strings.Replace(string(data), `"m": 4`, `"m": 3`, 1)
+	if bad == string(data) {
+		t.Skip("json layout changed; update the corruption")
+	}
+	if _, err := ib.Import([]byte(bad), core.NewMLID()); err == nil {
+		t.Error("corrupted parameters accepted")
+	}
+}

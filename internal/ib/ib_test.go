@@ -1,0 +1,76 @@
+package ib
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLFTBasics(t *testing.T) {
+	lft := NewLFT(8)
+	if lft.Size() != 8 {
+		t.Fatalf("Size = %d", lft.Size())
+	}
+	if _, err := lft.Lookup(3); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("unset lookup: %v", err)
+	}
+	if err := lft.Set(3, 5); err != nil {
+		t.Fatal(err)
+	}
+	p, err := lft.Lookup(3)
+	if err != nil || p != 5 {
+		t.Errorf("Lookup(3) = %d, %v", p, err)
+	}
+}
+
+func TestLFTRejectsReservedAndOutOfRange(t *testing.T) {
+	lft := NewLFT(4)
+	if err := lft.Set(0, 1); err == nil {
+		t.Error("Set(0) accepted reserved LID")
+	}
+	if err := lft.Set(4, 1); !errors.Is(err, ErrLIDOutOfRange) {
+		t.Errorf("Set(4): %v", err)
+	}
+	if _, err := lft.Lookup(9); !errors.Is(err, ErrLIDOutOfRange) {
+		t.Errorf("Lookup(9): %v", err)
+	}
+	if _, err := lft.Lookup(0); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("Lookup(0): %v", err)
+	}
+}
+
+func TestLFTEntriesCopy(t *testing.T) {
+	lft := NewLFT(4)
+	lft.Set(1, 2)
+	e := lft.Entries()
+	if e[1] != 2 || e[0] != PortNone || e[3] != PortNone {
+		t.Errorf("Entries = %v", e)
+	}
+	e[1] = 7 // mutate the copy
+	if p, _ := lft.Lookup(1); p != 2 {
+		t.Error("Entries returned aliased storage")
+	}
+}
+
+func TestLIDRange(t *testing.T) {
+	r := LIDRange{Base: 9, LMC: 2}
+	if r.Count() != 4 {
+		t.Errorf("Count = %d", r.Count())
+	}
+	for lid := LID(9); lid <= 12; lid++ {
+		if !r.Contains(lid) {
+			t.Errorf("Contains(%d) = false", lid)
+		}
+	}
+	if r.Contains(8) || r.Contains(13) {
+		t.Error("Contains accepted out-of-range LID")
+	}
+	if r.Offset(11) != 2 {
+		t.Errorf("Offset(11) = %d", r.Offset(11))
+	}
+	if r.String() != "LIDs 9..12 (LMC 2)" {
+		t.Errorf("String = %q", r.String())
+	}
+	if (LIDRange{Base: 5}).String() != "LID 5" {
+		t.Errorf("LMC-0 String = %q", LIDRange{Base: 5}.String())
+	}
+}

@@ -1,0 +1,198 @@
+package ib
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file models the subset of InfiniBand subnet management packets (SMPs)
+// a subnet manager needs to bring up a fabric: directed-route SubnGet /
+// SubnSet of the NodeInfo, PortInfo, SwitchInfo and LinearForwardingTable
+// attributes. Directed routing lets the SM address devices that have no LID
+// yet: the packet carries an explicit list of exit ports, walked hop by hop
+// by the switches' subnet management agents.
+
+// Method is the management datagram method.
+type Method uint8
+
+// SMP methods (IBA 13.4.5, abridged).
+const (
+	MethodGet     Method = 0x01
+	MethodSet     Method = 0x02
+	MethodGetResp Method = 0x81
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodGet:
+		return "SubnGet"
+	case MethodSet:
+		return "SubnSet"
+	case MethodGetResp:
+		return "SubnGetResp"
+	}
+	return fmt.Sprintf("Method(0x%02x)", uint8(m))
+}
+
+// Attribute identifies the management attribute an SMP reads or writes.
+type Attribute uint16
+
+// SMP attributes (IBA 14.2.5, abridged).
+const (
+	AttrNodeInfo   Attribute = 0x0011
+	AttrSwitchInfo Attribute = 0x0012
+	AttrPortInfo   Attribute = 0x0015
+	AttrLFTBlock   Attribute = 0x0019
+)
+
+// String names the attribute.
+func (a Attribute) String() string {
+	switch a {
+	case AttrNodeInfo:
+		return "NodeInfo"
+	case AttrSwitchInfo:
+		return "SwitchInfo"
+	case AttrPortInfo:
+		return "PortInfo"
+	case AttrLFTBlock:
+		return "LinearForwardingTable"
+	}
+	return fmt.Sprintf("Attr(0x%04x)", uint16(a))
+}
+
+// SMP status codes.
+const (
+	StatusOK               uint16 = 0
+	StatusUnsupportedAttr  uint16 = 0x001C
+	StatusInvalidAttrValue uint16 = 0x001D
+	StatusBadMethod        uint16 = 0x0008
+)
+
+// MaxHops bounds the directed-route path length, as the IBA does (64).
+const MaxHops = 64
+
+// LFTBlockSize is the number of forwarding entries carried per
+// LinearForwardingTable attribute block (IBA: 64).
+const LFTBlockSize = 64
+
+// SMP is a directed-route subnet management packet. The payload is a fixed
+// 64-byte attribute data field, encoded and decoded by the attribute types
+// below.
+type SMP struct {
+	Method    Method
+	Attribute Attribute
+	// AttrMod is the attribute modifier: the port number for PortInfo and
+	// the block index for LinearForwardingTable.
+	AttrMod uint32
+	// HopCount is the directed-route length; InitialPath[1..HopCount] are
+	// the exit ports, physical numbering, per hop. Entry 0 is unused, as in
+	// the IBA.
+	HopCount    uint8
+	InitialPath [MaxHops]uint8
+	// Status is filled by the responding agent.
+	Status uint16
+	// Data is the 64-byte attribute payload.
+	Data [64]byte
+}
+
+// NodeType discriminates the two device types of a subnet.
+type NodeType uint8
+
+// Node types (IBA: 1 = channel adapter, 2 = switch; routers not modelled).
+const (
+	NodeTypeCA     NodeType = 1
+	NodeTypeSwitch NodeType = 2
+)
+
+// NodeInfo is the discovery attribute: who a device is and how many ports
+// it has.
+type NodeInfo struct {
+	Type     NodeType
+	NumPorts uint8
+	// GUID is the device's globally unique identifier.
+	GUID uint64
+	// LocalPort is the port the SMP arrived on — how the SM learns the
+	// reverse topology.
+	LocalPort uint8
+}
+
+// Encode serializes the attribute into an SMP payload.
+func (n NodeInfo) Encode(data *[64]byte) {
+	data[0] = byte(n.Type)
+	data[1] = n.NumPorts
+	binary.BigEndian.PutUint64(data[2:10], n.GUID)
+	data[10] = n.LocalPort
+}
+
+// DecodeNodeInfo parses a NodeInfo payload.
+func DecodeNodeInfo(data *[64]byte) NodeInfo {
+	return NodeInfo{
+		Type:      NodeType(data[0]),
+		NumPorts:  data[1],
+		GUID:      binary.BigEndian.Uint64(data[2:10]),
+		LocalPort: data[10],
+	}
+}
+
+// PortInfo carries per-port state; Set(PortInfo) on a CA's port assigns its
+// LID and LMC, which is how the addressing scheme reaches the endports.
+type PortInfo struct {
+	LID   LID
+	LMC   uint8
+	State uint8 // 0 = down, 4 = active (abridged)
+}
+
+// Encode serializes the attribute.
+func (p PortInfo) Encode(data *[64]byte) {
+	binary.BigEndian.PutUint16(data[0:2], uint16(p.LID))
+	data[2] = p.LMC
+	data[3] = p.State
+}
+
+// DecodePortInfo parses a PortInfo payload.
+func DecodePortInfo(data *[64]byte) PortInfo {
+	return PortInfo{
+		LID:   LID(binary.BigEndian.Uint16(data[0:2])),
+		LMC:   data[2],
+		State: data[3],
+	}
+}
+
+// SwitchInfo describes a switch's forwarding capability.
+type SwitchInfo struct {
+	// LinearFDBCap is the number of LFT entries the switch supports.
+	LinearFDBCap uint16
+	// LinearFDBTop is the highest DLID the switch will look up.
+	LinearFDBTop uint16
+}
+
+// Encode serializes the attribute.
+func (s SwitchInfo) Encode(data *[64]byte) {
+	binary.BigEndian.PutUint16(data[0:2], s.LinearFDBCap)
+	binary.BigEndian.PutUint16(data[2:4], s.LinearFDBTop)
+}
+
+// DecodeSwitchInfo parses a SwitchInfo payload.
+func DecodeSwitchInfo(data *[64]byte) SwitchInfo {
+	return SwitchInfo{
+		LinearFDBCap: binary.BigEndian.Uint16(data[0:2]),
+		LinearFDBTop: binary.BigEndian.Uint16(data[2:4]),
+	}
+}
+
+// LFTBlock is one 64-entry block of a linear forwarding table; block i
+// covers DLIDs [64*i, 64*i+63].
+type LFTBlock struct {
+	Ports [LFTBlockSize]uint8
+}
+
+// Encode serializes the attribute.
+func (b LFTBlock) Encode(data *[64]byte) { copy(data[:], b.Ports[:]) }
+
+// DecodeLFTBlock parses an LFT block payload.
+func DecodeLFTBlock(data *[64]byte) LFTBlock {
+	var b LFTBlock
+	copy(b.Ports[:], data[:])
+	return b
+}

@@ -1,0 +1,235 @@
+package ib
+
+import (
+	"testing"
+
+	"mlid/internal/topology"
+)
+
+func TestAttributeRoundTrips(t *testing.T) {
+	var data [64]byte
+	ni := NodeInfo{Type: NodeTypeSwitch, NumPorts: 8, GUID: 0xdeadbeef01020304, LocalPort: 5}
+	ni.Encode(&data)
+	if got := DecodeNodeInfo(&data); got != ni {
+		t.Errorf("NodeInfo: %+v != %+v", got, ni)
+	}
+	pi := PortInfo{LID: 1234, LMC: 3, State: 4}
+	pi.Encode(&data)
+	if got := DecodePortInfo(&data); got != pi {
+		t.Errorf("PortInfo: %+v != %+v", got, pi)
+	}
+	si := SwitchInfo{LinearFDBCap: 4096, LinearFDBTop: 129}
+	si.Encode(&data)
+	if got := DecodeSwitchInfo(&data); got != si {
+		t.Errorf("SwitchInfo: %+v != %+v", got, si)
+	}
+	var b LFTBlock
+	for i := range b.Ports {
+		b.Ports[i] = uint8(i * 3)
+	}
+	b.Encode(&data)
+	if got := DecodeLFTBlock(&data); got != b {
+		t.Errorf("LFTBlock mismatch")
+	}
+}
+
+func TestMethodAndAttributeStrings(t *testing.T) {
+	if MethodGet.String() != "SubnGet" || MethodSet.String() != "SubnSet" || MethodGetResp.String() != "SubnGetResp" {
+		t.Error("method strings")
+	}
+	if Method(0x55).String() == "" {
+		t.Error("unknown method string empty")
+	}
+	for _, a := range []Attribute{AttrNodeInfo, AttrPortInfo, AttrSwitchInfo, AttrLFTBlock, Attribute(0x999)} {
+		if a.String() == "" {
+			t.Errorf("attribute %d string empty", a)
+		}
+	}
+}
+
+func sendGet(t *testing.T, f *SMAFabric, origin topology.NodeID, attr Attribute, mod uint32, path ...uint8) *SMP {
+	t.Helper()
+	smp := &SMP{Method: MethodGet, Attribute: attr, AttrMod: mod, HopCount: uint8(len(path))}
+	copy(smp.InitialPath[1:], path)
+	if err := f.Send(origin, smp); err != nil {
+		t.Fatal(err)
+	}
+	return smp
+}
+
+func TestSMPDirectedRouteWalk(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+	f := NewSMAFabric(tr)
+
+	// Empty path: the origin CA answers.
+	smp := sendGet(t, f, 0, AttrNodeInfo, 0)
+	if smp.Status != StatusOK {
+		t.Fatalf("status %#x", smp.Status)
+	}
+	ni := DecodeNodeInfo(&smp.Data)
+	if ni.Type != NodeTypeCA || ni.GUID != f.NodeAgent(0).GUID() {
+		t.Fatalf("origin NodeInfo: %+v", ni)
+	}
+
+	// One hop: the origin's leaf switch.
+	smp = sendGet(t, f, 0, AttrNodeInfo, 0, 1)
+	ni = DecodeNodeInfo(&smp.Data)
+	leaf, port := tr.NodeAttachment(0)
+	if ni.Type != NodeTypeSwitch || ni.GUID != f.SwitchAgent(leaf).GUID() {
+		t.Fatalf("leaf NodeInfo: %+v", ni)
+	}
+	if int(ni.LocalPort) != port+1 {
+		t.Fatalf("arrival port %d, want %d", ni.LocalPort, port+1)
+	}
+	if int(ni.NumPorts) != tr.M() {
+		t.Fatalf("ports %d", ni.NumPorts)
+	}
+
+	// Two hops: out the leaf's first up-port to a root.
+	up := uint8(tr.DownPorts(leaf) + 1) // physical
+	smp = sendGet(t, f, 0, AttrNodeInfo, 0, 1, up)
+	ni = DecodeNodeInfo(&smp.Data)
+	ref := tr.SwitchNeighbor(leaf, int(up)-1)
+	if ni.GUID != f.SwitchAgent(ref.Switch).GUID() || int(ni.LocalPort) != ref.Port+1 {
+		t.Fatalf("root NodeInfo: %+v, want switch %d port %d", ni, ref.Switch, ref.Port+1)
+	}
+}
+
+func TestSMPBadRoutes(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+	f := NewSMAFabric(tr)
+	// Invalid CA exit port.
+	smp := &SMP{Method: MethodGet, Attribute: AttrNodeInfo, HopCount: 1}
+	smp.InitialPath[1] = 3
+	if err := f.Send(0, smp); err == nil {
+		t.Error("CA exit port 3 accepted")
+	}
+	// Invalid switch exit port.
+	smp = &SMP{Method: MethodGet, Attribute: AttrNodeInfo, HopCount: 2}
+	smp.InitialPath[1] = 1
+	smp.InitialPath[2] = uint8(tr.M() + 1)
+	if err := f.Send(0, smp); err == nil {
+		t.Error("switch exit port m+1 accepted")
+	}
+	// Invalid origin.
+	if err := f.Send(-1, &SMP{}); err == nil {
+		t.Error("invalid origin accepted")
+	}
+	if err := f.Send(topology.NodeID(tr.Nodes()), &SMP{}); err == nil {
+		t.Error("out-of-range origin accepted")
+	}
+}
+
+func TestSMASetAndGetPortInfo(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+	f := NewSMAFabric(tr)
+	set := &SMP{Method: MethodSet, Attribute: AttrPortInfo, AttrMod: 1}
+	PortInfo{LID: 42, LMC: 2, State: 4}.Encode(&set.Data)
+	if err := f.Send(0, set); err != nil || set.Status != StatusOK {
+		t.Fatalf("set: %v status %#x", err, set.Status)
+	}
+	got := sendGet(t, f, 0, AttrPortInfo, 1)
+	pi := DecodePortInfo(&got.Data)
+	if pi.LID != 42 || pi.LMC != 2 {
+		t.Fatalf("read back %+v", pi)
+	}
+	// Reserved LID 0 rejected.
+	bad := &SMP{Method: MethodSet, Attribute: AttrPortInfo, AttrMod: 1}
+	PortInfo{LID: 0}.Encode(&bad.Data)
+	f.Send(0, bad)
+	if bad.Status != StatusInvalidAttrValue {
+		t.Fatalf("LID 0 set status %#x", bad.Status)
+	}
+	// LMC beyond the 3-bit field rejected.
+	bad2 := &SMP{Method: MethodSet, Attribute: AttrPortInfo, AttrMod: 1}
+	PortInfo{LID: 9, LMC: 8}.Encode(&bad2.Data)
+	f.Send(0, bad2)
+	if bad2.Status != StatusInvalidAttrValue {
+		t.Fatalf("LMC 8 set status %#x", bad2.Status)
+	}
+}
+
+func TestSMALFTBlocks(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+	f := NewSMAFabric(tr)
+
+	// Announce the table size on node 0's leaf switch.
+	si := &SMP{Method: MethodSet, Attribute: AttrSwitchInfo, HopCount: 1}
+	si.InitialPath[1] = 1
+	SwitchInfo{LinearFDBTop: 130}.Encode(&si.Data)
+	if err := f.Send(0, si); err != nil || si.Status != StatusOK {
+		t.Fatalf("SwitchInfo set: %v status %#x", err, si.Status)
+	}
+	// Write block 1 (LIDs 64..127).
+	set := &SMP{Method: MethodSet, Attribute: AttrLFTBlock, AttrMod: 1, HopCount: 1}
+	set.InitialPath[1] = 1
+	var b LFTBlock
+	for i := range b.Ports {
+		b.Ports[i] = uint8(1 + i%4)
+	}
+	b.Encode(&set.Data)
+	if err := f.Send(0, set); err != nil || set.Status != StatusOK {
+		t.Fatalf("LFT set: %v status %#x", err, set.Status)
+	}
+	// Read it back.
+	get := sendGet(t, f, 0, AttrLFTBlock, 1, 1)
+	rb := DecodeLFTBlock(&get.Data)
+	if rb != b {
+		t.Fatal("LFT block read-back mismatch")
+	}
+	// The agent's LFT view reflects it.
+	leaf, _ := tr.NodeAttachment(0)
+	lft := f.SwitchAgent(leaf).LFT()
+	p, err := lft.Lookup(70)
+	if err != nil || p != b.Ports[6] {
+		t.Fatalf("agent LFT lookup: %d %v", p, err)
+	}
+	// Out-of-range port in a block is rejected.
+	bad := &SMP{Method: MethodSet, Attribute: AttrLFTBlock, AttrMod: 0, HopCount: 1}
+	bad.InitialPath[1] = 1
+	var bb LFTBlock
+	bb.Ports[1] = uint8(tr.M() + 1)
+	bb.Encode(&bad.Data)
+	f.Send(0, bad)
+	if bad.Status != StatusInvalidAttrValue {
+		t.Fatalf("bad port set status %#x", bad.Status)
+	}
+	// Out-of-cap block index rejected.
+	far := &SMP{Method: MethodSet, Attribute: AttrLFTBlock, AttrMod: 1 << 12, HopCount: 1}
+	far.InitialPath[1] = 1
+	bb = LFTBlock{}
+	bb.Encode(&far.Data)
+	f.Send(0, far)
+	if far.Status != StatusInvalidAttrValue {
+		t.Fatalf("far block set status %#x", far.Status)
+	}
+}
+
+func TestSMAUnsupported(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+	f := NewSMAFabric(tr)
+	// Unknown attribute on a CA.
+	smp := &SMP{Method: MethodGet, Attribute: Attribute(0x777)}
+	f.Send(0, smp)
+	if smp.Status != StatusUnsupportedAttr {
+		t.Errorf("CA unknown attr status %#x", smp.Status)
+	}
+	// Bad method on a switch.
+	smp = &SMP{Method: Method(0x7), Attribute: AttrNodeInfo, HopCount: 1}
+	smp.InitialPath[1] = 1
+	f.Send(0, smp)
+	if smp.Status != StatusBadMethod {
+		t.Errorf("switch bad method status %#x", smp.Status)
+	}
+	// SwitchInfo get works and reports capacity.
+	smp = sendGet(t, f, 0, AttrSwitchInfo, 0, 1)
+	si := DecodeSwitchInfo(&smp.Data)
+	if si.LinearFDBCap == 0 {
+		t.Error("zero FDB capacity")
+	}
+	// PortInfo get on a switch reports an active state.
+	smp = sendGet(t, f, 0, AttrPortInfo, 2, 1)
+	if DecodePortInfo(&smp.Data).State != 4 {
+		t.Error("switch port not active")
+	}
+}

@@ -1,0 +1,241 @@
+package ib
+
+import (
+	"fmt"
+
+	"mlid/internal/topology"
+)
+
+// This file implements the subnet management agents (SMAs) that live in
+// every InfiniBand device, and a directed-route transport that walks SMPs
+// across the physical fabric. Together with mad.go it lets a subnet manager
+// bring up the network the way a real SM does — by exchanging packets with
+// anonymous devices — instead of reading the topology object directly.
+
+// SwitchSMA is the management agent of one switch: its GUID, port count and
+// forwarding state, addressable only through SMPs.
+type SwitchSMA struct {
+	guid     uint64
+	numPorts uint8
+	fdbCap   int
+	fdbTop   int
+	lft      []uint8
+}
+
+// NodeSMA is the management agent of a channel adapter (processing node).
+type NodeSMA struct {
+	guid uint64
+	port PortInfo
+}
+
+// GUID returns the device GUID (exposed for harness bookkeeping; the subnet
+// manager itself only learns GUIDs from NodeInfo responses).
+func (a *SwitchSMA) GUID() uint64 { return a.guid }
+
+// GUID returns the device GUID.
+func (a *NodeSMA) GUID() uint64 { return a.guid }
+
+// PortInfo returns the CA's current port state (LID, LMC).
+func (a *NodeSMA) PortInfo() PortInfo { return a.port }
+
+// LFT copies the switch's programmed forwarding table into an LFT sized to
+// its FDB top.
+func (a *SwitchSMA) LFT() *LFT {
+	t := NewLFT(a.fdbTop + 1)
+	for lid := 1; lid <= a.fdbTop && lid < len(a.lft); lid++ {
+		if a.lft[lid] != PortNone {
+			// Entries were validated on Set; ignore the impossible error.
+			_ = t.Set(LID(lid), a.lft[lid])
+		}
+	}
+	return t
+}
+
+func (a *SwitchSMA) process(smp *SMP, arrival uint8) {
+	switch {
+	case smp.Method == MethodGet && smp.Attribute == AttrNodeInfo:
+		NodeInfo{Type: NodeTypeSwitch, NumPorts: a.numPorts, GUID: a.guid, LocalPort: arrival}.Encode(&smp.Data)
+	case smp.Method == MethodGet && smp.Attribute == AttrSwitchInfo:
+		SwitchInfo{LinearFDBCap: uint16(a.fdbCap), LinearFDBTop: uint16(a.fdbTop)}.Encode(&smp.Data)
+	case smp.Method == MethodSet && smp.Attribute == AttrSwitchInfo:
+		si := DecodeSwitchInfo(&smp.Data)
+		if int(si.LinearFDBTop) >= a.fdbCap {
+			smp.Status = StatusInvalidAttrValue
+			return
+		}
+		a.fdbTop = int(si.LinearFDBTop)
+		a.ensureLFT()
+	case smp.Attribute == AttrLFTBlock && (smp.Method == MethodGet || smp.Method == MethodSet):
+		block := int(smp.AttrMod)
+		lo := block * LFTBlockSize
+		if lo >= a.fdbCap {
+			smp.Status = StatusInvalidAttrValue
+			return
+		}
+		a.ensureLFT()
+		if smp.Method == MethodSet {
+			b := DecodeLFTBlock(&smp.Data)
+			for i, port := range b.Ports {
+				lid := lo + i
+				if lid >= len(a.lft) {
+					break
+				}
+				if port != PortNone && (port == 0 || port > a.numPorts) {
+					smp.Status = StatusInvalidAttrValue
+					return
+				}
+				a.lft[lid] = port
+			}
+		} else {
+			var b LFTBlock
+			for i := range b.Ports {
+				lid := lo + i
+				if lid < len(a.lft) {
+					b.Ports[i] = a.lft[lid]
+				} else {
+					b.Ports[i] = PortNone
+				}
+			}
+			b.Encode(&smp.Data)
+		}
+	case smp.Method == MethodGet && smp.Attribute == AttrPortInfo:
+		// Switch external ports carry no LID in this model; report state.
+		PortInfo{State: 4}.Encode(&smp.Data)
+	case smp.Method != MethodGet && smp.Method != MethodSet:
+		smp.Status = StatusBadMethod
+		return
+	default:
+		smp.Status = StatusUnsupportedAttr
+		return
+	}
+	smp.Status = StatusOK
+	smp.Method = MethodGetResp
+}
+
+func (a *SwitchSMA) ensureLFT() {
+	need := a.fdbTop + 1
+	if need < LFTBlockSize {
+		need = LFTBlockSize
+	}
+	for len(a.lft) < need {
+		a.lft = append(a.lft, PortNone)
+	}
+}
+
+func (a *NodeSMA) process(smp *SMP, arrival uint8) {
+	switch {
+	case smp.Method == MethodGet && smp.Attribute == AttrNodeInfo:
+		NodeInfo{Type: NodeTypeCA, NumPorts: 1, GUID: a.guid, LocalPort: arrival}.Encode(&smp.Data)
+	case smp.Method == MethodGet && smp.Attribute == AttrPortInfo:
+		a.port.Encode(&smp.Data)
+	case smp.Method == MethodSet && smp.Attribute == AttrPortInfo:
+		p := DecodePortInfo(&smp.Data)
+		if p.LID == 0 || p.LMC > MaxLMC {
+			smp.Status = StatusInvalidAttrValue
+			return
+		}
+		a.port = p
+	case smp.Method != MethodGet && smp.Method != MethodSet:
+		smp.Status = StatusBadMethod
+		return
+	default:
+		smp.Status = StatusUnsupportedAttr
+		return
+	}
+	smp.Status = StatusOK
+	smp.Method = MethodGetResp
+}
+
+// SMAFabric is the physical management plane of a fabric: one agent per
+// device, plus the directed-route walker that carries SMPs between them.
+// GUIDs are arbitrary unique 64-bit values; the subnet manager must treat
+// them as opaque.
+type SMAFabric struct {
+	tree     *topology.Tree
+	switches []*SwitchSMA
+	nodes    []*NodeSMA
+}
+
+// NewSMAFabric builds the agents for every device of the tree.
+func NewSMAFabric(t *topology.Tree) *SMAFabric {
+	f := &SMAFabric{
+		tree:     t,
+		switches: make([]*SwitchSMA, t.Switches()),
+		nodes:    make([]*NodeSMA, t.Nodes()),
+	}
+	for s := range f.switches {
+		f.switches[s] = &SwitchSMA{
+			// An arbitrary vendor-style GUID block; the SM never parses it.
+			guid:     0x0002_c900_0000_0000 | uint64(s),
+			numPorts: uint8(t.M()),
+			// The largest block-aligned capacity the 16-bit SwitchInfo
+			// field can report.
+			fdbCap: 0xFFC0,
+		}
+	}
+	for p := range f.nodes {
+		f.nodes[p] = &NodeSMA{guid: 0x0008_f100_0000_0000 | uint64(p)}
+	}
+	return f
+}
+
+// SwitchAgent exposes a switch's agent for harness bookkeeping.
+func (f *SMAFabric) SwitchAgent(id topology.SwitchID) *SwitchSMA { return f.switches[id] }
+
+// NodeAgent exposes a CA's agent for harness bookkeeping.
+func (f *SMAFabric) NodeAgent(id topology.NodeID) *NodeSMA { return f.nodes[id] }
+
+// Send walks the SMP's directed route starting at the channel adapter
+// `origin` and delivers it to the device at the end of the path, whose
+// agent processes it in place (the response travels the reversed path,
+// which this model folds into the call). Path entries are physical port
+// numbers; entry 0 is unused. An empty path (HopCount 0) addresses the
+// origin CA itself.
+func (f *SMAFabric) Send(origin topology.NodeID, smp *SMP) error {
+	if !f.tree.ValidNode(origin) {
+		return fmt.Errorf("ib: SMP origin node %d invalid", origin)
+	}
+	if int(smp.HopCount) >= MaxHops {
+		return fmt.Errorf("ib: SMP hop count %d exceeds maximum", smp.HopCount)
+	}
+	type device struct {
+		sw   *SwitchSMA
+		node *NodeSMA
+		id   int32
+	}
+	cur := device{node: f.nodes[origin], id: int32(origin)}
+	arrival := uint8(0)
+	for hop := 1; hop <= int(smp.HopCount); hop++ {
+		exit := smp.InitialPath[hop]
+		if cur.node != nil {
+			// A CA has a single external port, physical 1.
+			if exit != 1 {
+				return fmt.Errorf("ib: SMP hop %d exits CA via invalid port %d", hop, exit)
+			}
+			sw, port := f.tree.NodeAttachment(topology.NodeID(cur.id))
+			cur = device{sw: f.switches[sw], id: int32(sw)}
+			arrival = uint8(port + 1)
+			continue
+		}
+		if exit == 0 || int(exit) > f.tree.M() {
+			return fmt.Errorf("ib: SMP hop %d exits switch via invalid port %d", hop, exit)
+		}
+		ref := f.tree.SwitchNeighbor(topology.SwitchID(cur.id), int(exit)-1)
+		switch ref.Kind {
+		case topology.KindNode:
+			cur = device{node: f.nodes[ref.Node], id: int32(ref.Node)}
+			arrival = 1
+		case topology.KindSwitch:
+			cur = device{sw: f.switches[ref.Switch], id: int32(ref.Switch)}
+			arrival = uint8(ref.Port + 1)
+		default:
+			return fmt.Errorf("ib: SMP hop %d fell off the fabric", hop)
+		}
+	}
+	if cur.sw != nil {
+		cur.sw.process(smp, arrival)
+	} else {
+		cur.node.process(smp, arrival)
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+// Package model provides closed-form performance predictions for m-port
+// n-tree InfiniBand networks under the two routing schemes: uncontended
+// latency, link-capacity efficiency under credit-based flow control, and the
+// saturation knees (the offered load where accepted traffic stops tracking
+// offered traffic) for the uniform and hotspot patterns.
+//
+// The predictions serve two purposes: they cross-validate the discrete-event
+// simulator (the test suite requires the measured knees to fall near the
+// predicted ones), and they explain the paper's results structurally — e.g.
+// the hotspot knee ratio between MLID and SLID is exactly the number of
+// descending paths into the hotspot leaf, (m/2), under ideal reception.
+package model
+
+import (
+	"fmt"
+
+	"mlid/internal/topology"
+)
+
+// Params are the timing constants of the simulated network; zero values take
+// the paper's settings.
+type Params struct {
+	FlyNs      float64 // link flying time (paper: 10)
+	RouteNs    float64 // crossbar routing time (paper: 100)
+	NsPerByte  float64 // byte injection interval (paper: 1)
+	PacketSize float64 // packet size in bytes (paper: 256)
+	BufPackets float64 // per-VL buffer depth in packets (paper: 1)
+}
+
+// DefaultParams returns the paper's model constants.
+func DefaultParams() Params {
+	return Params{FlyNs: 10, RouteNs: 100, NsPerByte: 1, PacketSize: 256, BufPackets: 1}
+}
+
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.FlyNs == 0 {
+		p.FlyNs = d.FlyNs
+	}
+	if p.RouteNs == 0 {
+		p.RouteNs = d.RouteNs
+	}
+	if p.NsPerByte == 0 {
+		p.NsPerByte = d.NsPerByte
+	}
+	if p.PacketSize == 0 {
+		p.PacketSize = d.PacketSize
+	}
+	if p.BufPackets == 0 {
+		p.BufPackets = d.BufPackets
+	}
+	return p
+}
+
+// SerNs returns the serialization time of one packet.
+func (p Params) SerNs() float64 {
+	p = p.withDefaults()
+	return p.PacketSize * p.NsPerByte
+}
+
+// ChainEfficiency is the sustainable utilization of a single (link, VL)
+// chain under credit-based flow control with BufPackets credits: after a
+// packet's tail leaves the receiver's input buffer, the credit flies back
+// (FlyNs) and the next transmission's head flies forward (FlyNs), so each
+// buffer turnaround costs 2*FlyNs beyond the serialization time. With k
+// credits the gap amortizes over k packets.
+func (p Params) ChainEfficiency() float64 { return p.LinkEfficiency(1) }
+
+// LinkEfficiency generalizes ChainEfficiency to several data VLs: a link
+// interleaves lanes, so the credit-turnaround gap amortizes over
+// BufPackets * dataVLs outstanding packets.
+func (p Params) LinkEfficiency(dataVLs int) float64 {
+	p = p.withDefaults()
+	ser := p.SerNs()
+	outstanding := p.BufPackets * float64(dataVLs)
+	return ser / (ser + 2*p.FlyNs/outstanding)
+}
+
+// UncontendedLatency returns the generation-to-delivery latency of a packet
+// crossing s switches with no contention:
+//
+//	s*RouteNs + (s+1)*FlyNs + SerNs
+func (p Params) UncontendedLatency(switches int) float64 {
+	p = p.withDefaults()
+	return float64(switches)*p.RouteNs + float64(switches+1)*p.FlyNs + p.SerNs()
+}
+
+// PairLatency returns the uncontended latency between two distinct nodes.
+func PairLatency(t *topology.Tree, p Params, a, b topology.NodeID) float64 {
+	return p.UncontendedLatency(t.Distance(a, b))
+}
+
+// MeanUniformLatency returns the expected uncontended latency of the uniform
+// pattern: the average of PairLatency over all ordered pairs, computed in
+// closed form from the gcpg populations.
+func MeanUniformLatency(t *topology.Tree, p Params) float64 {
+	n := float64(t.Nodes())
+	if t.Nodes() < 2 {
+		return 0
+	}
+	var total float64
+	for alpha := 0; alpha < t.N(); alpha++ {
+		peers := float64(t.GCPGSize(alpha)-1) - float64(t.GCPGSize(alpha+1)-1)
+		total += peers * p.UncontendedLatency(2*(t.N()-alpha)-1)
+	}
+	return total / (n - 1)
+}
+
+// Reception mirrors the simulator's endnode consumption models.
+type Reception int
+
+const (
+	// ReceptionIdeal consumes packets at the destination leaf switch.
+	ReceptionIdeal Reception = iota
+	// ReceptionLink shares the terminal switch-to-node link.
+	ReceptionLink
+)
+
+// HotspotKnee predicts the offered load (bytes/ns per node) at which the
+// named scheme saturates under the centric pattern where every node sends
+// `fraction` of its packets to one fixed destination.
+//
+// Under ReceptionLink the terminal link is the binding constraint for every
+// scheme: it carries fraction*(N-1)*r of hotspot traffic plus (1-fraction)*r
+// of uniform traffic, so the knee is capacity / (fraction*(N-1)+(1-fraction))
+// — which is why single-hotspot experiments cannot distinguish routing
+// schemes under link-limited reception.
+//
+// Under ReceptionIdeal the binding constraints are the descending links into
+// the hotspot's leaf switch. SLID sends all external hotspot traffic down
+// ONE such link; MLID spreads it over all m/2 of them:
+//
+//	SLID: knee = eff           / (fraction * (N - m/2))
+//	MLID: knee = eff * (m/2)   / (fraction * (N - m/2))
+//
+// The predicted MLID/SLID throughput ratio is therefore exactly m/2 — the
+// structural content of the paper's Observation 3, and the reason the gap
+// widens with the switch port count (Observation 5).
+func HotspotKnee(t *topology.Tree, p Params, scheme string, fraction float64, rec Reception) (float64, error) {
+	if fraction <= 0 || fraction > 1 {
+		return 0, fmt.Errorf("model: fraction must be in (0,1], got %v", fraction)
+	}
+	p = p.withDefaults()
+	n := float64(t.Nodes())
+	h := float64(t.H())
+	if rec == ReceptionLink {
+		// The terminal link is fed from several input buffers in turn, so
+		// it sustains near-full utilization.
+		return 1 / (fraction*(n-1) + (1 - fraction)), nil
+	}
+	eff := p.ChainEfficiency()
+	external := fraction * (n - h)
+	if external <= 0 {
+		return 0, fmt.Errorf("model: degenerate hotspot (all nodes share the leaf)")
+	}
+	switch scheme {
+	case "SLID", "slid":
+		return eff / external, nil
+	case "MLID", "mlid":
+		return eff * h / external, nil
+	}
+	return 0, fmt.Errorf("model: unknown scheme %q", scheme)
+}
+
+// HotspotRatio predicts the MLID/SLID peak-throughput ratio under the
+// centric pattern with ideal reception: m/2.
+func HotspotRatio(t *topology.Tree) float64 { return float64(t.H()) }
+
+// UniformKneeBound returns an upper bound on the uniform-pattern saturation
+// load: injection is limited by each source's link, and the fabric is
+// rearrangeably non-blocking (full bisection), so the bound is the link
+// efficiency at the given VL count. Contention and head-of-line blocking
+// push the real knee below this; measurements on the paper's networks land
+// at 55-90% of it.
+func UniformKneeBound(p Params, dataVLs int) float64 { return p.LinkEfficiency(dataVLs) }

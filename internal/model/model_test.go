@@ -1,0 +1,121 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"mlid/internal/topology"
+)
+
+func TestDefaults(t *testing.T) {
+	p := DefaultParams()
+	if p.SerNs() != 256 {
+		t.Errorf("SerNs = %v", p.SerNs())
+	}
+	if got := (Params{}).SerNs(); got != 256 {
+		t.Errorf("zero params SerNs = %v", got)
+	}
+	eff := p.ChainEfficiency()
+	if math.Abs(eff-256.0/276.0) > 1e-12 {
+		t.Errorf("ChainEfficiency = %v", eff)
+	}
+	// Deeper buffers amortize the credit turnaround.
+	deep := Params{BufPackets: 4}.ChainEfficiency()
+	if deep <= eff {
+		t.Errorf("4-credit efficiency %v <= 1-credit %v", deep, eff)
+	}
+	// More VLs amortize it the same way.
+	if p.LinkEfficiency(4) != deep {
+		t.Errorf("4 VLs (%v) != 4 credits (%v)", p.LinkEfficiency(4), deep)
+	}
+}
+
+func TestUncontendedLatency(t *testing.T) {
+	p := DefaultParams()
+	// The worked constants from the simulator tests.
+	if got := p.UncontendedLatency(3); got != 596 {
+		t.Errorf("3 switches: %v, want 596", got)
+	}
+	if got := p.UncontendedLatency(1); got != 376 {
+		t.Errorf("1 switch: %v, want 376", got)
+	}
+}
+
+func TestPairAndMeanLatency(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+	p := DefaultParams()
+	if got := PairLatency(tr, p, 0, 1); got != 376 {
+		t.Errorf("same leaf: %v", got)
+	}
+	if got := PairLatency(tr, p, 0, topology.NodeID(tr.Nodes()-1)); got != 596 {
+		t.Errorf("max distance: %v", got)
+	}
+	// Mean via closed form equals brute force.
+	var total, pairs float64
+	for a := 0; a < tr.Nodes(); a++ {
+		for b := 0; b < tr.Nodes(); b++ {
+			if a != b {
+				total += PairLatency(tr, p, topology.NodeID(a), topology.NodeID(b))
+				pairs++
+			}
+		}
+	}
+	want := total / pairs
+	if got := MeanUniformLatency(tr, p); math.Abs(got-want) > 1e-9 {
+		t.Errorf("MeanUniformLatency %v, brute force %v", got, want)
+	}
+}
+
+func TestHotspotKneeFormulas(t *testing.T) {
+	tr := topology.MustNew(8, 2) // N=32, h=4
+	p := DefaultParams()
+
+	slid, err := HotspotKnee(tr, p, "SLID", 0.5, ReceptionIdeal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlid, err := HotspotKnee(tr, p, "MLID", 0.5, ReceptionIdeal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mlid/slid-HotspotRatio(tr)) > 1e-9 {
+		t.Errorf("ratio %v, want %v", mlid/slid, HotspotRatio(tr))
+	}
+	// SLID: eff / (0.5 * 28).
+	if want := p.ChainEfficiency() / 14; math.Abs(slid-want) > 1e-12 {
+		t.Errorf("SLID knee %v, want %v", slid, want)
+	}
+	// Link-limited reception: scheme-independent.
+	a, _ := HotspotKnee(tr, p, "SLID", 0.5, ReceptionLink)
+	b, _ := HotspotKnee(tr, p, "MLID", 0.5, ReceptionLink)
+	if a != b {
+		t.Errorf("link-limited knees differ: %v vs %v", a, b)
+	}
+	if want := 1.0 / 16.0; math.Abs(a-want) > 1e-12 {
+		t.Errorf("link knee %v, want %v", a, want)
+	}
+}
+
+func TestHotspotKneeErrors(t *testing.T) {
+	tr := topology.MustNew(8, 2)
+	p := DefaultParams()
+	if _, err := HotspotKnee(tr, p, "MLID", 0, ReceptionIdeal); err == nil {
+		t.Error("fraction 0 accepted")
+	}
+	if _, err := HotspotKnee(tr, p, "MLID", 1.5, ReceptionIdeal); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := HotspotKnee(tr, p, "XLID", 0.5, ReceptionIdeal); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestUniformKneeBound(t *testing.T) {
+	p := DefaultParams()
+	if got := UniformKneeBound(p, 1); got <= 0.9 || got >= 1 {
+		t.Errorf("UniformKneeBound(1) = %v", got)
+	}
+	if UniformKneeBound(p, 4) <= UniformKneeBound(p, 1) {
+		t.Error("bound not increasing in VLs")
+	}
+}

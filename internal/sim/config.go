@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"fmt"
+
+	"mlid/internal/ib"
+	"mlid/internal/stats"
+	"mlid/internal/topology"
+	"mlid/internal/traffic"
+)
+
+// Default model constants, taken from the paper's simulator settings.
+const (
+	// DefaultFlyNs is the flying time of a packet between devices
+	// (endnode-to-switch and switch-to-switch).
+	DefaultFlyNs Time = 10
+	// DefaultRouteNs is the routing time of a packet from an input port to
+	// an output port of the crossbar (forwarding table lookup, arbitration
+	// and message startup).
+	DefaultRouteNs Time = 100
+	// DefaultNsPerByte is the byte injection interval of a 4X link
+	// configuration (~8 Gbit/s of data): one byte per nanosecond.
+	DefaultNsPerByte Time = 1
+	// DefaultPacketSize is the simulated packet size in bytes.
+	DefaultPacketSize = 256
+	// DefaultBufPackets is the per-virtual-lane input/output buffer
+	// capacity in packets (the paper's buffers hold one packet).
+	DefaultBufPackets = 1
+)
+
+// ReceptionModel selects how destination endnodes consume packets.
+type ReceptionModel int
+
+const (
+	// ReceptionIdeal consumes packets at the destination's leaf switch as
+	// fast as they are routed: the final switch-to-node hop adds its flying
+	// and serialization time to latency but is never a shared bottleneck.
+	// This matches the behaviour the paper's results imply: its 50%-centric
+	// figures show MLID far ahead of SLID, which is only possible when the
+	// destination can drain its multiple descending paths concurrently —
+	// with a single contended terminal link, every scheme is pinned to the
+	// same hotspot sink rate (see DESIGN.md, "Reception model").
+	ReceptionIdeal ReceptionModel = iota
+	// ReceptionLink models the switch-to-node link like any other: 1 B/ns,
+	// credit flow control, shared by all traffic to that node.
+	ReceptionLink
+)
+
+// VLPolicy chooses how sources map packets onto data virtual lanes.
+type VLPolicy int
+
+const (
+	// VLRoundRobin distributes a source's packets over the data VLs in
+	// round-robin order — the utilization-oriented policy of the VL
+	// literature the paper builds on, and the default. It treats both
+	// routing schemes symmetrically: every VL carries every flow.
+	VLRoundRobin VLPolicy = iota
+	// VLByDLID statically maps a packet to VL = DLID mod #VLs, a
+	// destination-pinned (SL-to-VL style) mapping. Under a hotspot this
+	// isolates the single-LID scheme's hotspot traffic on one lane, an
+	// asymmetry worth studying but not the paper's setting (its
+	// observations have MLID ahead at every VL count).
+	VLByDLID
+)
+
+// SwitchingMode selects the switch forwarding discipline.
+type SwitchingMode int
+
+const (
+	// SwitchingVCT is virtual cut-through, the paper's model: a packet's
+	// head can leave a switch before its tail has arrived.
+	SwitchingVCT SwitchingMode = iota
+	// SwitchingSAF is store-and-forward: a switch receives the whole
+	// packet before routing it, adding one serialization time per hop.
+	// Provided as an ablation of the paper's cut-through choice.
+	SwitchingSAF
+)
+
+// PathSelectPolicy chooses how sources pick among a destination's LIDs.
+type PathSelectPolicy int
+
+const (
+	// PathSelectRank is the paper's policy: the scheme's DLID function
+	// (source rank within its gcpg selects the path offset).
+	PathSelectRank PathSelectPolicy = iota
+	// PathSelectRandom is an oblivious ablation: each packet draws a
+	// uniformly random offset within the destination's LID range. It uses
+	// the same forwarding tables; only the source-side selection changes.
+	PathSelectRandom
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Subnet is the configured subnet (topology + LID assignment + LFTs)
+	// produced by the subnet manager.
+	Subnet *ib.Subnet
+	// Pattern selects packet destinations.
+	Pattern traffic.Pattern
+	// DataVLs is the number of data virtual lanes (the paper simulates
+	// 1, 2 and 4). Each VL of a port has its own input and output buffer.
+	DataVLs int
+	// PacketSize is the packet length in bytes.
+	PacketSize int
+	// BufPackets is the capacity, in packets, of each per-VL buffer.
+	BufPackets int
+	// FlyNs, RouteNs, NsPerByte override the paper's timing constants when
+	// non-zero.
+	FlyNs, RouteNs, NsPerByte Time
+	// OfferedLoad is the per-node injection rate in bytes/ns (1.0 is the
+	// full link rate). The generator spaces packets deterministically at
+	// PacketSize/OfferedLoad nanoseconds, with a random per-node phase.
+	OfferedLoad float64
+	// WarmupNs and MeasureNs delimit the measurement window: statistics
+	// cover deliveries in [WarmupNs, WarmupNs+MeasureNs). Generation stops
+	// at the end of the window.
+	WarmupNs, MeasureNs Time
+	// Reception selects the endnode consumption model; the zero value is
+	// ReceptionIdeal, the paper-faithful choice.
+	Reception ReceptionModel
+	// PathSelect selects the source-side multipath policy; the zero value
+	// is the paper's rank-based selection.
+	PathSelect PathSelectPolicy
+	// DLIDFunc, when non-nil, overrides path selection entirely: it is
+	// called per packet with (src, dst) and must return a LID the
+	// destination owns. Used for profile-guided path plans
+	// (core.OptimizePaths).
+	DLIDFunc func(src, dst topology.NodeID) ib.LID
+	// VLSelect selects the source-side virtual-lane mapping; the zero
+	// value is round-robin.
+	VLSelect VLPolicy
+	// Switching selects cut-through (default, the paper's model) or
+	// store-and-forward.
+	Switching SwitchingMode
+	// LatencyHist, when non-nil, receives every measured delivery latency
+	// (generation to tail, window deliveries only).
+	LatencyHist *stats.Histogram
+	// CollectPortStats fills Result.PortStats with per-directed-link
+	// transmission statistics.
+	CollectPortStats bool
+	// TracePackets records the hop-by-hop timeline of the first N generated
+	// packets into Result.Traces.
+	TracePackets int
+	// SeriesIntervalNs, when positive, bins deliveries over the whole run
+	// into intervals of this many nanoseconds and fills Result.Series — the
+	// transient view (congestion onset, drain) the steady-state window
+	// averages away.
+	SeriesIntervalNs Time
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// SeriesPoint is one time bin of a run's delivery series.
+type SeriesPoint struct {
+	StartNs Time
+	// Accepted is the delivered traffic in the bin, bytes/ns per node.
+	Accepted float64
+	// MeanLatencyNs averages the bin's delivery latencies (0 if none).
+	MeanLatencyNs float64
+	Delivered     int64
+}
+
+// TraceHop is one switch traversal in a packet trace.
+type TraceHop struct {
+	Switch int32
+	// ArriveNs is the head arrival at the switch; DepartNs the start of the
+	// next transmission (0 if the packet never left).
+	ArriveNs, DepartNs Time
+}
+
+// PacketTrace is the recorded life of one packet.
+type PacketTrace struct {
+	Seq       uint64
+	Src, Dst  int32
+	DLID      uint16
+	VL        uint8
+	GenNs     Time
+	InjectNs  Time
+	DeliverNs Time // 0 if still in flight when the run ended
+	Hops      []TraceHop
+}
+
+// PortStat summarizes one directed link's transmissions over a run.
+type PortStat struct {
+	// IsNode marks an endnode injection link; otherwise Switch/Port name
+	// the transmitting switch side (abstract port).
+	IsNode  bool
+	Node    int32
+	Switch  int32
+	Port    int
+	BusyNs  Time
+	Packets int64
+	// Utilization is BusyNs over the run length.
+	Utilization float64
+}
+
+// withDefaults fills zero fields with the paper's constants.
+func (c Config) withDefaults() Config {
+	if c.DataVLs == 0 {
+		c.DataVLs = 1
+	}
+	if c.PacketSize == 0 {
+		c.PacketSize = DefaultPacketSize
+	}
+	if c.BufPackets == 0 {
+		c.BufPackets = DefaultBufPackets
+	}
+	if c.FlyNs == 0 {
+		c.FlyNs = DefaultFlyNs
+	}
+	if c.RouteNs == 0 {
+		c.RouteNs = DefaultRouteNs
+	}
+	if c.NsPerByte == 0 {
+		c.NsPerByte = DefaultNsPerByte
+	}
+	if c.WarmupNs == 0 {
+		c.WarmupNs = 50_000
+	}
+	if c.MeasureNs == 0 {
+		c.MeasureNs = 200_000
+	}
+	return c
+}
+
+// validate rejects inconsistent configurations.
+func (c Config) validate() error {
+	if c.Subnet == nil {
+		return fmt.Errorf("sim: Config.Subnet is required")
+	}
+	if c.Pattern == nil {
+		return fmt.Errorf("sim: Config.Pattern is required")
+	}
+	if c.DataVLs < 1 || c.DataVLs > 15 {
+		return fmt.Errorf("sim: DataVLs must be 1..15 (IBA allows up to 15 data VLs), got %d", c.DataVLs)
+	}
+	if c.PacketSize < 1 {
+		return fmt.Errorf("sim: PacketSize must be positive, got %d", c.PacketSize)
+	}
+	if c.BufPackets < 1 {
+		return fmt.Errorf("sim: BufPackets must be >= 1, got %d", c.BufPackets)
+	}
+	if c.OfferedLoad <= 0 {
+		return fmt.Errorf("sim: OfferedLoad must be positive, got %v", c.OfferedLoad)
+	}
+	if c.MeasureNs <= 0 || c.WarmupNs < 0 {
+		return fmt.Errorf("sim: bad window: warmup %d, measure %d", c.WarmupNs, c.MeasureNs)
+	}
+	if c.Reception != ReceptionIdeal && c.Reception != ReceptionLink {
+		return fmt.Errorf("sim: unknown reception model %d", c.Reception)
+	}
+	if c.PathSelect != PathSelectRank && c.PathSelect != PathSelectRandom {
+		return fmt.Errorf("sim: unknown path-selection policy %d", c.PathSelect)
+	}
+	if c.VLSelect != VLRoundRobin && c.VLSelect != VLByDLID {
+		return fmt.Errorf("sim: unknown VL policy %d", c.VLSelect)
+	}
+	if c.Switching != SwitchingVCT && c.Switching != SwitchingSAF {
+		return fmt.Errorf("sim: unknown switching mode %d", c.Switching)
+	}
+	return nil
+}
+
+// Result reports one run's outcome.
+type Result struct {
+	// OfferedLoad echoes the configured injection rate (bytes/ns/node).
+	OfferedLoad float64
+	// Accepted is the delivered traffic within the measurement window, in
+	// bytes/ns per node — the paper's x-axis.
+	Accepted float64
+	// MeanLatencyNs and P99LatencyNs summarize generation-to-delivery
+	// latency of packets delivered within the window — the paper's y-axis.
+	MeanLatencyNs, P99LatencyNs, MaxLatencyNs float64
+	// MeanNetLatencyNs is the mean injection-to-delivery latency: the
+	// time inside the fabric, excluding source queueing.
+	MeanNetLatencyNs float64
+	// MaxLinkUtilization and MeanLinkUtilization summarize the fraction of
+	// the run each directed switch-output link spent transmitting
+	// (endnode injection links excluded from Mean; Max covers all).
+	MaxLinkUtilization, MeanLinkUtilization float64
+	// DeliveredWindow / GeneratedWindow count packets inside the window.
+	DeliveredWindow, GeneratedWindow int64
+	// OutOfOrder counts deliveries that arrived behind a later-generated
+	// packet of the same (source, destination) flow — the reordering the
+	// IBA's per-path determinism avoids and multipath spreading risks.
+	// Tracked for fabrics up to 4096 nodes; -1 means not tracked.
+	OutOfOrder int64
+	// PortStats carries per-directed-link statistics, busiest first, when
+	// Config.CollectPortStats is set.
+	PortStats []PortStat
+	// Traces carries the recorded packet timelines when Config.TracePackets
+	// is positive.
+	Traces []*PacketTrace
+	// Series carries the delivery time series when
+	// Config.SeriesIntervalNs is positive.
+	Series []SeriesPoint
+	// TotalDelivered / TotalGenerated count packets over the whole run.
+	TotalDelivered, TotalGenerated int64
+	// InFlightAtEnd = TotalGenerated - TotalDelivered: packets still queued
+	// or in the fabric when the run stopped.
+	InFlightAtEnd int64
+	// Events is the number of simulator events processed.
+	Events int64
+	// EndTime is the simulated timestamp the run stopped at.
+	EndTime Time
+	// Saturated reports whether accepted traffic fell more than 2% below
+	// offered traffic, i.e. the operating point is past the knee.
+	Saturated bool
+}

@@ -1,0 +1,91 @@
+// Package sim is a discrete-event simulator for fat-tree-based InfiniBand
+// subnets, reproducing the network model of the paper's evaluation section:
+//
+//   - endnodes generate and consume packets; switches forward them through a
+//     non-blocking crossbar by linear-forwarding-table lookup;
+//   - every switch port has per-virtual-lane input and output buffers of one
+//     packet (256 bytes) by default;
+//   - links carry 1 byte/ns (a 4X configuration's data rate) with 10 ns
+//     flying time between devices;
+//   - a packet takes 100 ns from input port to output port of the crossbar
+//     (forwarding table lookup, arbitration and startup);
+//   - switching is virtual cut-through: a head can leave a switch before its
+//     tail has arrived, and a blocked packet collapses into the input buffer;
+//   - the IBA credit-based link-level flow control governs every link: a
+//     sender transmits on a virtual lane only while it holds a credit for
+//     the receiver's input buffer, and credits return when that buffer
+//     frees.
+//
+// Simulated time is integer nanoseconds. Runs are deterministic for a given
+// configuration and seed.
+package sim
+
+import "container/heap"
+
+// Time is simulated time in nanoseconds.
+type Time = int64
+
+// event is a scheduled callback.
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+// eventQueue is a binary min-heap on (t, seq); seq makes scheduling order a
+// deterministic tiebreak.
+type eventQueue struct {
+	items []event
+	seq   uint64
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+func (q *eventQueue) Less(i, j int) bool {
+	if q.items[i].t != q.items[j].t {
+		return q.items[i].t < q.items[j].t
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *eventQueue) Push(x any)    { q.items = append(q.items, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+// engine drives the event loop.
+type engine struct {
+	now Time
+	q   eventQueue
+}
+
+// at schedules fn to run at time t (>= now).
+func (e *engine) at(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.q.seq++
+	heap.Push(&e.q, event{t: t, seq: e.q.seq, fn: fn})
+}
+
+// after schedules fn to run d nanoseconds from now.
+func (e *engine) after(d Time, fn func()) { e.at(e.now+d, fn) }
+
+// runUntil processes events in order until the queue is empty or the next
+// event is later than end. It returns the number of events processed.
+func (e *engine) runUntil(end Time) int64 {
+	var n int64
+	for e.q.Len() > 0 {
+		if e.q.items[0].t > end {
+			break
+		}
+		ev := heap.Pop(&e.q).(event)
+		e.now = ev.t
+		ev.fn()
+		n++
+	}
+	return n
+}

@@ -1,0 +1,78 @@
+package sim
+
+import "testing"
+
+func TestEngineOrdersByTime(t *testing.T) {
+	var e engine
+	var got []int
+	e.at(30, func() { got = append(got, 3) })
+	e.at(10, func() { got = append(got, 1) })
+	e.at(20, func() { got = append(got, 2) })
+	n := e.runUntil(100)
+	if n != 3 {
+		t.Fatalf("processed %d events", n)
+	}
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if e.now != 30 {
+		t.Fatalf("now = %d", e.now)
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	var e engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.at(5, func() { got = append(got, i) })
+	}
+	e.runUntil(5)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", got)
+		}
+	}
+}
+
+func TestEngineStopsAtHorizon(t *testing.T) {
+	var e engine
+	ran := false
+	e.at(50, func() { ran = true })
+	if n := e.runUntil(49); n != 0 || ran {
+		t.Fatal("event beyond horizon ran")
+	}
+	if n := e.runUntil(50); n != 1 || !ran {
+		t.Fatal("event at horizon skipped")
+	}
+}
+
+func TestEngineClampsPastScheduling(t *testing.T) {
+	var e engine
+	var at Time = -1
+	e.at(10, func() {
+		// Scheduling in the past clamps to now.
+		e.at(3, func() { at = e.now })
+	})
+	e.runUntil(100)
+	if at != 10 {
+		t.Fatalf("past event ran at %d, want 10", at)
+	}
+}
+
+func TestEngineCascade(t *testing.T) {
+	var e engine
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 5 {
+			e.after(7, step)
+		}
+	}
+	e.at(0, step)
+	e.runUntil(1000)
+	if count != 5 || e.now != 28 {
+		t.Fatalf("count=%d now=%d", count, e.now)
+	}
+}

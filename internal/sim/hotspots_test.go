@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+
+	"mlid/internal/core"
+	"mlid/internal/traffic"
+)
+
+// TestMultiHotspotDilution: spreading the concentrated fraction over more
+// hotspot destinations multiplies the aggregate sink capacity, so accepted
+// traffic at a fixed offered load must not decrease with the hotspot count
+// and must clearly improve from 1 to 4 hotspots.
+func TestMultiHotspotDilution(t *testing.T) {
+	sn := mustSubnet(t, 8, 2, core.NewMLID())
+	run := func(hotspots []int) Result {
+		res, err := Run(Config{
+			Subnet:      sn,
+			Pattern:     traffic.MultiHotspot{Nodes: sn.Tree.Nodes(), Hotspots: hotspots, Fraction: 0.5},
+			OfferedLoad: 0.5,
+			WarmupNs:    50_000,
+			MeasureNs:   200_000,
+			Seed:        3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// Hotspots on distinct leaves so their sinks do not share links.
+	one := run([]int{0})
+	four := run([]int{0, 5, 10, 15})
+	if four.Accepted < one.Accepted*1.5 {
+		t.Errorf("4 hotspots accepted %.4f, 1 hotspot %.4f — expected clear dilution gain",
+			four.Accepted, one.Accepted)
+	}
+}
+
+// TestLocalTrafficBeatsUniform: with strong locality most packets cross a
+// single switch, so at a load where uniform traffic saturates, local
+// traffic still tracks the offered rate and with much lower latency.
+func TestLocalTrafficBeatsUniform(t *testing.T) {
+	sn := mustSubnet(t, 8, 2, core.NewMLID())
+	run := func(p traffic.Pattern) Result {
+		res, err := Run(Config{
+			Subnet:      sn,
+			Pattern:     p,
+			OfferedLoad: 0.85,
+			WarmupNs:    50_000,
+			MeasureNs:   150_000,
+			Seed:        5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	local := run(traffic.Local{Nodes: sn.Tree.Nodes(), LeafSize: sn.Tree.H(), Locality: 0.9})
+	uniform := run(traffic.Uniform{Nodes: sn.Tree.Nodes()})
+	if local.Accepted <= uniform.Accepted {
+		t.Errorf("local accepted %.4f <= uniform %.4f", local.Accepted, uniform.Accepted)
+	}
+	if local.MeanLatencyNs >= uniform.MeanLatencyNs {
+		t.Errorf("local latency %.0f >= uniform %.0f", local.MeanLatencyNs, uniform.MeanLatencyNs)
+	}
+}
+
+// TestTornadoIsBenignOnFatTree: tornado is adversarial on tori but a plain
+// permutation here; under MLID it must behave like other permutations and
+// not collapse.
+func TestTornadoIsBenignOnFatTree(t *testing.T) {
+	sn := mustSubnet(t, 8, 2, core.NewMLID())
+	res, err := Run(Config{
+		Subnet:      sn,
+		Pattern:     traffic.Tornado(sn.Tree.Nodes()),
+		OfferedLoad: 0.5,
+		WarmupNs:    30_000,
+		MeasureNs:   100_000,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saturated {
+		t.Errorf("tornado saturated at 0.5 load: %+v", res)
+	}
+}

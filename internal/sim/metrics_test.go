@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"mlid/internal/core"
+	"mlid/internal/traffic"
+)
+
+func TestNetLatencyExcludesSourceQueueing(t *testing.T) {
+	sn := mustSubnet(t, 8, 2, core.NewMLID())
+	// Deep saturation: the source queue dominates total latency, while the
+	// in-fabric latency stays bounded by the fabric depth.
+	res, err := Run(Config{
+		Subnet:      sn,
+		Pattern:     traffic.Uniform{Nodes: sn.Tree.Nodes()},
+		OfferedLoad: 1.2,
+		WarmupNs:    20_000,
+		MeasureNs:   100_000,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanNetLatencyNs <= 0 {
+		t.Fatal("no net latency recorded")
+	}
+	if res.MeanNetLatencyNs >= res.MeanLatencyNs {
+		t.Errorf("net latency %.0f >= total latency %.0f under saturation",
+			res.MeanNetLatencyNs, res.MeanLatencyNs)
+	}
+	// At saturation total latency is dominated by queueing: at least 10x.
+	if res.MeanLatencyNs < 10*res.MeanNetLatencyNs {
+		t.Errorf("expected queueing-dominated latency: total %.0f, net %.0f",
+			res.MeanLatencyNs, res.MeanNetLatencyNs)
+	}
+}
+
+func TestNetLatencyEqualsTotalAtLowLoad(t *testing.T) {
+	sn := mustSubnet(t, 4, 2, core.NewMLID())
+	res, err := Run(Config{
+		Subnet:      sn,
+		Pattern:     traffic.BitComplement(sn.Tree.Nodes()),
+		OfferedLoad: 0.004,
+		WarmupNs:    20_000,
+		MeasureNs:   300_000,
+		Seed:        6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := res.MeanLatencyNs - res.MeanNetLatencyNs; diff < 0 || diff > 5 {
+		t.Errorf("low-load total %.1f vs net %.1f", res.MeanLatencyNs, res.MeanNetLatencyNs)
+	}
+}
+
+func TestLinkUtilizationBounds(t *testing.T) {
+	sn := mustSubnet(t, 8, 2, core.NewMLID())
+	lo, err := Run(Config{
+		Subnet:      sn,
+		Pattern:     traffic.Uniform{Nodes: sn.Tree.Nodes()},
+		OfferedLoad: 0.1,
+		WarmupNs:    10_000,
+		MeasureNs:   100_000,
+		Seed:        8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Run(Config{
+		Subnet:      sn,
+		Pattern:     traffic.Uniform{Nodes: sn.Tree.Nodes()},
+		OfferedLoad: 0.8,
+		WarmupNs:    10_000,
+		MeasureNs:   100_000,
+		Seed:        8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Result{lo, hi} {
+		if r.MaxLinkUtilization < 0 || r.MaxLinkUtilization > 1.0001 {
+			t.Fatalf("max utilization %v out of [0,1]", r.MaxLinkUtilization)
+		}
+		if r.MeanLinkUtilization < 0 || r.MeanLinkUtilization > r.MaxLinkUtilization {
+			t.Fatalf("mean utilization %v vs max %v", r.MeanLinkUtilization, r.MaxLinkUtilization)
+		}
+	}
+	if hi.MeanLinkUtilization <= lo.MeanLinkUtilization {
+		t.Errorf("utilization did not grow with load: %.3f vs %.3f",
+			hi.MeanLinkUtilization, lo.MeanLinkUtilization)
+	}
+	// At 10% uniform load the mean switch-link utilization should be near
+	// the analytic value: each packet crosses ~2.6 switch links, so
+	// utilization ~ load * nodes * hops / links ~ 0.1*32*2.6/ (12*8) ≈ 0.09.
+	if lo.MeanLinkUtilization < 0.03 || lo.MeanLinkUtilization > 0.2 {
+		t.Errorf("low-load mean utilization %.3f implausible", lo.MeanLinkUtilization)
+	}
+}
+
+// TestPathSelectRandomDeliversAndDiffers: the oblivious policy still
+// delivers everything correctly, and its results differ from rank selection
+// under a pattern where rank selection is perfectly regular.
+func TestPathSelectRandom(t *testing.T) {
+	sn := mustSubnet(t, 4, 3, core.NewMLID())
+	base := Config{
+		Subnet:      sn,
+		Pattern:     traffic.BitComplement(sn.Tree.Nodes()),
+		OfferedLoad: 0.6,
+		WarmupNs:    20_000,
+		MeasureNs:   100_000,
+		Seed:        9,
+	}
+	rank, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := base
+	rnd.PathSelect = PathSelectRandom
+	random, err := Run(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if random.TotalDelivered == 0 {
+		t.Fatal("random policy delivered nothing")
+	}
+	if reflect.DeepEqual(rank, random) {
+		t.Error("random and rank policies produced identical results")
+	}
+	// Under bit-complement, rank selection gives a perfect permutation of
+	// paths (every link load 1); random selection collides and cannot beat
+	// it on accepted traffic.
+	if random.Accepted > rank.Accepted*1.02 {
+		t.Errorf("oblivious random (%.4f) beat rank selection (%.4f) on a permutation",
+			random.Accepted, rank.Accepted)
+	}
+}
+
+func TestPathSelectValidation(t *testing.T) {
+	sn := mustSubnet(t, 4, 2, core.NewMLID())
+	_, err := Run(Config{
+		Subnet:      sn,
+		Pattern:     traffic.Uniform{Nodes: sn.Tree.Nodes()},
+		OfferedLoad: 0.1,
+		PathSelect:  PathSelectPolicy(5),
+	})
+	if err == nil {
+		t.Error("invalid path-selection policy accepted")
+	}
+}
+
+// TestSLIDRandomEqualsRank: with LMC 0 the random policy degenerates to the
+// single LID, so results must be identical.
+func TestSLIDRandomEqualsRank(t *testing.T) {
+	sn := mustSubnet(t, 4, 2, core.NewSLID())
+	base := Config{
+		Subnet:      sn,
+		Pattern:     traffic.Uniform{Nodes: sn.Tree.Nodes()},
+		OfferedLoad: 0.3,
+		WarmupNs:    10_000,
+		MeasureNs:   50_000,
+		Seed:        4,
+	}
+	a, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := base
+	rnd.PathSelect = PathSelectRandom
+	b, err := Run(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accepted != b.Accepted || a.MeanLatencyNs != b.MeanLatencyNs {
+		t.Errorf("SLID rank vs random differ: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"testing"
+
+	"mlid/internal/core"
+	"mlid/internal/stats"
+	"mlid/internal/traffic"
+)
+
+func TestPortStatsCollection(t *testing.T) {
+	sn := mustSubnet(t, 8, 2, core.NewSLID())
+	res, err := Run(Config{
+		Subnet:           sn,
+		Pattern:          traffic.Centric{Nodes: sn.Tree.Nodes(), Hotspot: 0, Fraction: 0.5},
+		OfferedLoad:      0.3,
+		CollectPortStats: true,
+		WarmupNs:         20_000,
+		MeasureNs:        100_000,
+		Seed:             7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PortStats) == 0 {
+		t.Fatal("no port stats collected")
+	}
+	// Sorted busiest-first, utilizations within [0, 1].
+	for i, ps := range res.PortStats {
+		if ps.Utilization < 0 || ps.Utilization > 1.0001 {
+			t.Fatalf("stat %d: utilization %v", i, ps.Utilization)
+		}
+		if ps.Packets <= 0 || ps.BusyNs <= 0 {
+			t.Fatalf("stat %d: empty entry %+v", i, ps)
+		}
+		if i > 0 && ps.BusyNs > res.PortStats[i-1].BusyNs {
+			t.Fatal("port stats not sorted by busy time")
+		}
+	}
+	// Under SLID centric, the busiest directed link must be on the hotspot
+	// path: a switch link, not an injection link.
+	if res.PortStats[0].IsNode {
+		t.Errorf("busiest link is an injection link: %+v", res.PortStats[0])
+	}
+	// Off by default.
+	res2, err := Run(Config{
+		Subnet:      sn,
+		Pattern:     traffic.Uniform{Nodes: sn.Tree.Nodes()},
+		OfferedLoad: 0.1,
+		WarmupNs:    5_000,
+		MeasureNs:   20_000,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PortStats != nil {
+		t.Error("port stats collected without opting in")
+	}
+}
+
+func TestLatencyHistogramSink(t *testing.T) {
+	sn := mustSubnet(t, 4, 2, core.NewMLID())
+	hist := stats.NewHistogram(100, 24)
+	res, err := Run(Config{
+		Subnet:      sn,
+		Pattern:     traffic.Uniform{Nodes: sn.Tree.Nodes()},
+		OfferedLoad: 0.3,
+		LatencyHist: hist,
+		WarmupNs:    10_000,
+		MeasureNs:   60_000,
+		Seed:        9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Total() != res.DeliveredWindow {
+		t.Errorf("histogram holds %d samples, window delivered %d", hist.Total(), res.DeliveredWindow)
+	}
+	if m := hist.Mean(); m < res.MeanLatencyNs*0.999 || m > res.MeanLatencyNs*1.001 {
+		t.Errorf("histogram mean %v vs result mean %v", m, res.MeanLatencyNs)
+	}
+}

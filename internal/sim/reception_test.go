@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"testing"
+
+	"mlid/internal/core"
+	"mlid/internal/traffic"
+)
+
+// TestReceptionModels contrasts the two endnode consumption models under
+// 50%-centric traffic. Under ReceptionLink the destination's single terminal
+// link pins every scheme to the same hotspot sink rate, so MLID and SLID
+// accept nearly the same traffic. Under ReceptionIdeal (the paper-faithful
+// model) the hotspot leaf drains its multiple descending paths concurrently,
+// and MLID's path spreading translates into far higher accepted traffic —
+// the paper's Observation 3.
+func TestReceptionModels(t *testing.T) {
+	run := func(s core.Scheme, rec ReceptionModel) Result {
+		sn := mustSubnet(t, 8, 2, s)
+		res, err := Run(Config{
+			Subnet:      sn,
+			Pattern:     traffic.Centric{Nodes: sn.Tree.Nodes(), Hotspot: 0, Fraction: 0.5},
+			OfferedLoad: 0.4,
+			Reception:   rec,
+			WarmupNs:    60_000,
+			MeasureNs:   200_000,
+			Seed:        17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	mLink := run(core.NewMLID(), ReceptionLink)
+	sLink := run(core.NewSLID(), ReceptionLink)
+	mIdeal := run(core.NewMLID(), ReceptionIdeal)
+	sIdeal := run(core.NewSLID(), ReceptionIdeal)
+
+	// Link-limited: both schemes within 10% of each other (terminal link
+	// dominates either way).
+	ratioLink := mLink.Accepted / sLink.Accepted
+	if ratioLink < 0.90 || ratioLink > 1.10 {
+		t.Errorf("ReceptionLink: MLID/SLID = %.3f, expected ~1 (terminal link pins both)", ratioLink)
+	}
+	// Ideal: MLID at least 1.5x SLID (the paper reports "much higher").
+	if mIdeal.Accepted < 1.5*sIdeal.Accepted {
+		t.Errorf("ReceptionIdeal: MLID %.4f not >> SLID %.4f", mIdeal.Accepted, sIdeal.Accepted)
+	}
+	// Ideal reception can only help.
+	if mIdeal.Accepted < mLink.Accepted*0.95 {
+		t.Errorf("ideal reception reduced MLID throughput: %.4f < %.4f", mIdeal.Accepted, mLink.Accepted)
+	}
+}
+
+// TestReceptionLinkLatencyIdenticalAtLowLoad: with no contention the two
+// reception models produce identical per-packet timing.
+func TestReceptionLinkLatencyIdenticalAtLowLoad(t *testing.T) {
+	for _, rec := range []ReceptionModel{ReceptionIdeal, ReceptionLink} {
+		sn := mustSubnet(t, 4, 2, core.NewMLID())
+		res, err := Run(Config{
+			Subnet:      sn,
+			Pattern:     traffic.BitComplement(sn.Tree.Nodes()),
+			OfferedLoad: 0.004,
+			Reception:   rec,
+			WarmupNs:    20_000,
+			MeasureNs:   300_000,
+			Seed:        42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const ideal = 3*100 + 4*10 + 256
+		if res.MeanLatencyNs < ideal || res.MeanLatencyNs > ideal*1.1 {
+			t.Errorf("reception %d: latency %.1f, want ~%d", rec, res.MeanLatencyNs, ideal)
+		}
+	}
+}
+
+// TestUniformMLIDBeatsSLIDIdeal: Observation 1 — under uniform traffic the
+// MLID peak throughput exceeds SLID's on an 8-port network.
+func TestUniformMLIDBeatsSLIDIdeal(t *testing.T) {
+	run := func(s core.Scheme) Result {
+		sn := mustSubnet(t, 8, 2, s)
+		res, err := Run(Config{
+			Subnet:      sn,
+			Pattern:     traffic.Uniform{Nodes: sn.Tree.Nodes()},
+			OfferedLoad: 0.9,
+			WarmupNs:    60_000,
+			MeasureNs:   200_000,
+			Seed:        21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	m, sl := run(core.NewMLID()), run(core.NewSLID())
+	if m.Accepted <= sl.Accepted {
+		t.Errorf("uniform saturation: MLID %.4f <= SLID %.4f", m.Accepted, sl.Accepted)
+	}
+}
+
+func TestInvalidReceptionRejected(t *testing.T) {
+	sn := mustSubnet(t, 4, 2, core.NewMLID())
+	_, err := Run(Config{
+		Subnet:      sn,
+		Pattern:     traffic.Uniform{Nodes: sn.Tree.Nodes()},
+		OfferedLoad: 0.1,
+		Reception:   ReceptionModel(9),
+	})
+	if err == nil {
+		t.Error("invalid reception model accepted")
+	}
+}

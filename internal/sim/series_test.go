@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+
+	"mlid/internal/core"
+	"mlid/internal/traffic"
+)
+
+// TestSeriesConservation: the time series' totals equal the run's totals
+// over [0, end), and the bins are correctly aligned.
+func TestSeriesConservation(t *testing.T) {
+	sn := mustSubnet(t, 8, 2, core.NewMLID())
+	res, err := Run(Config{
+		Subnet:           sn,
+		Pattern:          traffic.Uniform{Nodes: sn.Tree.Nodes()},
+		OfferedLoad:      0.3,
+		WarmupNs:         20_000,
+		MeasureNs:        80_000,
+		SeriesIntervalNs: 10_000,
+		Seed:             3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 || len(res.Series) > 10 {
+		t.Fatalf("%d series bins", len(res.Series))
+	}
+	var delivered int64
+	for i, sp := range res.Series {
+		if sp.StartNs != Time(i)*10_000 {
+			t.Fatalf("bin %d starts at %d", i, sp.StartNs)
+		}
+		if sp.Delivered > 0 && sp.MeanLatencyNs <= 0 {
+			t.Fatalf("bin %d has deliveries without latency", i)
+		}
+		if sp.Accepted < 0 || sp.Accepted > 1.1 {
+			t.Fatalf("bin %d accepted %v", i, sp.Accepted)
+		}
+		delivered += sp.Delivered
+	}
+	// Series covers the whole run (warmup included); it must hold at least
+	// the window deliveries and at most the total.
+	if delivered < res.DeliveredWindow || delivered > res.TotalDelivered {
+		t.Fatalf("series delivered %d, window %d, total %d", delivered, res.DeliveredWindow, res.TotalDelivered)
+	}
+}
+
+// TestSeriesShowsCongestionOnset: under hotspot overload the early bins
+// deliver more than the late bins' SLID throughput... more precisely, the
+// binned latency grows over time as the backlog builds.
+func TestSeriesShowsCongestionOnset(t *testing.T) {
+	sn := mustSubnet(t, 8, 2, core.NewSLID())
+	res, err := Run(Config{
+		Subnet:           sn,
+		Pattern:          traffic.Centric{Nodes: sn.Tree.Nodes(), Hotspot: 0, Fraction: 0.5},
+		OfferedLoad:      0.4,
+		WarmupNs:         0,
+		MeasureNs:        200_000,
+		SeriesIntervalNs: 20_000,
+		Seed:             5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) < 5 {
+		t.Fatalf("%d bins", len(res.Series))
+	}
+	first, last := res.Series[1], res.Series[len(res.Series)-1]
+	if last.MeanLatencyNs <= first.MeanLatencyNs {
+		t.Errorf("no congestion onset visible: bin1 latency %.0f, last %.0f",
+			first.MeanLatencyNs, last.MeanLatencyNs)
+	}
+}
+
+func TestSeriesOffByDefault(t *testing.T) {
+	sn := mustSubnet(t, 4, 2, core.NewMLID())
+	res, err := Run(Config{
+		Subnet:      sn,
+		Pattern:     traffic.Uniform{Nodes: sn.Tree.Nodes()},
+		OfferedLoad: 0.1,
+		WarmupNs:    5_000,
+		MeasureNs:   20_000,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series != nil {
+		t.Error("series without opting in")
+	}
+}

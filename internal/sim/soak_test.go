@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+
+	"mlid/internal/core"
+	"mlid/internal/traffic"
+)
+
+// TestSoakLargeFabric runs the largest evaluation network near saturation
+// and checks conservation, ordering and utilization invariants at scale.
+// Skipped under -short.
+func TestSoakLargeFabric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in short mode")
+	}
+	sn := mustSubnet(t, 32, 2, core.NewMLID())
+	res, err := Run(Config{
+		Subnet:      sn,
+		Pattern:     traffic.Uniform{Nodes: sn.Tree.Nodes()},
+		OfferedLoad: 0.7,
+		DataVLs:     2,
+		WarmupNs:    50_000,
+		MeasureNs:   150_000,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalGenerated < 100_000 {
+		t.Fatalf("soak too small: %d packets", res.TotalGenerated)
+	}
+	if res.TotalDelivered > res.TotalGenerated || res.InFlightAtEnd < 0 {
+		t.Fatalf("conservation: %+v", res)
+	}
+	if res.Accepted < 0.5 {
+		t.Errorf("accepted %.3f unexpectedly low at 0.7 offered on 512 nodes", res.Accepted)
+	}
+	if res.MaxLinkUtilization > 1.0001 {
+		t.Errorf("utilization %v > 1", res.MaxLinkUtilization)
+	}
+	if res.OutOfOrder < 0 {
+		t.Error("ordering not tracked on 512 nodes")
+	}
+}
+
+// TestSoakLargeHotspot: the 512-node centric case (figure F8's regime),
+// asserting the headline ordering holds at scale. Skipped under -short.
+func TestSoakLargeHotspot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in short mode")
+	}
+	run := func(s core.Scheme) Result {
+		sn := mustSubnet(t, 32, 2, s)
+		res, err := Run(Config{
+			Subnet:      sn,
+			Pattern:     traffic.Centric{Nodes: sn.Tree.Nodes(), Hotspot: 0, Fraction: 0.5},
+			OfferedLoad: 0.3,
+			WarmupNs:    60_000,
+			MeasureNs:   150_000,
+			Seed:        2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	m, sl := run(core.NewMLID()), run(core.NewSLID())
+	if m.Accepted < 2*sl.Accepted {
+		t.Errorf("512-node hotspot: MLID %.4f not >> SLID %.4f", m.Accepted, sl.Accepted)
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+
+	"mlid/internal/core"
+	"mlid/internal/traffic"
+)
+
+// TestSAFLatencyMatchesModel: store-and-forward pays one serialization per
+// switch. On FT(4,2) with bit-complement traffic (3 switches per route) the
+// uncontended latency is 4*fly + 4*ser + 3*route = 40 + 1024 + 300 = 1364 ns,
+// versus virtual cut-through's 596 ns.
+func TestSAFLatencyMatchesModel(t *testing.T) {
+	sn := mustSubnet(t, 4, 2, core.NewMLID())
+	run := func(mode SwitchingMode) Result {
+		res, err := Run(Config{
+			Subnet:      sn,
+			Pattern:     traffic.BitComplement(sn.Tree.Nodes()),
+			OfferedLoad: 0.004,
+			Switching:   mode,
+			WarmupNs:    20_000,
+			MeasureNs:   400_000,
+			Seed:        42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	saf := run(SwitchingSAF)
+	const idealSAF = 4*10 + 4*256 + 3*100
+	if saf.MeanLatencyNs < idealSAF || saf.MeanLatencyNs > idealSAF*1.1 {
+		t.Errorf("SAF latency %.1f, want ~%d", saf.MeanLatencyNs, idealSAF)
+	}
+	vct := run(SwitchingVCT)
+	const idealVCT = 4*10 + 256 + 3*100
+	if vct.MeanLatencyNs < idealVCT || vct.MeanLatencyNs > idealVCT*1.1 {
+		t.Errorf("VCT latency %.1f, want ~%d", vct.MeanLatencyNs, idealVCT)
+	}
+	if saf.MeanLatencyNs <= vct.MeanLatencyNs {
+		t.Error("SAF not slower than VCT")
+	}
+}
+
+// TestSAFStillDeliversUnderLoad: the mode changes timing, not correctness.
+func TestSAFStillDeliversUnderLoad(t *testing.T) {
+	sn := mustSubnet(t, 8, 2, core.NewMLID())
+	res, err := Run(Config{
+		Subnet:      sn,
+		Pattern:     traffic.Uniform{Nodes: sn.Tree.Nodes()},
+		OfferedLoad: 0.5,
+		Switching:   SwitchingSAF,
+		WarmupNs:    30_000,
+		MeasureNs:   100_000,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredWindow == 0 || res.TotalDelivered > res.TotalGenerated {
+		t.Fatalf("SAF run broken: %+v", res)
+	}
+}
+
+func TestSwitchingValidation(t *testing.T) {
+	sn := mustSubnet(t, 4, 2, core.NewMLID())
+	_, err := Run(Config{
+		Subnet:      sn,
+		Pattern:     traffic.Uniform{Nodes: sn.Tree.Nodes()},
+		OfferedLoad: 0.1,
+		Switching:   SwitchingMode(7),
+	})
+	if err == nil {
+		t.Error("invalid switching mode accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"testing"
+
+	"mlid/internal/core"
+	"mlid/internal/ib"
+	"mlid/internal/topology"
+	"mlid/internal/traffic"
+)
+
+// TestPacketTraceMatchesRoute: a traced packet's hop sequence equals the
+// routing scheme's traced path, and its timestamps follow the model's
+// per-hop deltas at zero contention.
+func TestPacketTraceMatchesRoute(t *testing.T) {
+	sn := mustSubnet(t, 4, 2, core.NewMLID())
+	res, err := Run(Config{
+		Subnet:       sn,
+		Pattern:      traffic.BitComplement(sn.Tree.Nodes()),
+		OfferedLoad:  0.004,
+		TracePackets: 8,
+		WarmupNs:     5_000,
+		MeasureNs:    200_000,
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 8 {
+		t.Fatalf("%d traces", len(res.Traces))
+	}
+	for _, tr := range res.Traces {
+		if tr.DeliverNs == 0 {
+			t.Fatalf("trace %d undelivered at near-zero load", tr.Seq)
+		}
+		// Same switches as the closed-form route.
+		want, err := core.TraceLID(sn.Tree, sn.Engine, topology.NodeID(tr.Src), ib.LID(tr.DLID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Hops) != want.Len() {
+			t.Fatalf("trace %d has %d hops, route has %d", tr.Seq, len(tr.Hops), want.Len())
+		}
+		for i, h := range tr.Hops {
+			if h.Switch != int32(want.Hops[i].Switch) {
+				t.Fatalf("trace %d hop %d at switch %d, want %d", tr.Seq, i, h.Switch, want.Hops[i].Switch)
+			}
+			if h.DepartNs < h.ArriveNs {
+				t.Fatalf("trace %d hop %d departs before arriving", tr.Seq, i)
+			}
+			// Uncontended: routing takes exactly RouteNs.
+			if h.DepartNs-h.ArriveNs != DefaultRouteNs {
+				t.Fatalf("trace %d hop %d dwell %d, want %d", tr.Seq, i, h.DepartNs-h.ArriveNs, DefaultRouteNs)
+			}
+		}
+		// Injection follows generation immediately at idle.
+		if tr.InjectNs < tr.GenNs {
+			t.Fatal("inject before generation")
+		}
+		// First hop arrival = injection + fly.
+		if tr.Hops[0].ArriveNs != tr.InjectNs+DefaultFlyNs {
+			t.Fatalf("first hop arrival %d, want inject+fly %d", tr.Hops[0].ArriveNs, tr.InjectNs+DefaultFlyNs)
+		}
+		// Delivery = last departure + fly + serialization.
+		last := tr.Hops[len(tr.Hops)-1]
+		if tr.DeliverNs != last.DepartNs+DefaultFlyNs+DefaultPacketSize {
+			t.Fatalf("delivery %d, want %d", tr.DeliverNs, last.DepartNs+DefaultFlyNs+DefaultPacketSize)
+		}
+	}
+}
+
+func TestPacketTraceOffByDefault(t *testing.T) {
+	sn := mustSubnet(t, 4, 2, core.NewMLID())
+	res, err := Run(Config{
+		Subnet:      sn,
+		Pattern:     traffic.Uniform{Nodes: sn.Tree.Nodes()},
+		OfferedLoad: 0.1,
+		WarmupNs:    5_000,
+		MeasureNs:   20_000,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 0 {
+		t.Errorf("%d traces without opting in", len(res.Traces))
+	}
+}

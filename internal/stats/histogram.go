@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a log-scaled latency histogram: bucket i counts samples in
+// [base * 2^i, base * 2^(i+1)). Log buckets fit latency distributions whose
+// tails stretch by orders of magnitude at saturation.
+type Histogram struct {
+	base    float64
+	counts  []int64
+	under   int64
+	total   int64
+	sum     float64
+	maxSeen float64
+}
+
+// NewHistogram returns a histogram whose first bucket starts at base (ns)
+// and which carries the given number of doubling buckets.
+func NewHistogram(base float64, buckets int) *Histogram {
+	if base <= 0 {
+		base = 1
+	}
+	if buckets < 1 {
+		buckets = 32
+	}
+	return &Histogram{base: base, counts: make([]int64, buckets)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	h.sum += v
+	if v > h.maxSeen {
+		h.maxSeen = v
+	}
+	if v < h.base {
+		h.under++
+		return
+	}
+	i := int(math.Log2(v / h.base))
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+}
+
+// Total returns the number of samples.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() float64 { return h.maxSeen }
+
+// Bucket returns bucket i's range and count.
+func (h *Histogram) Bucket(i int) (lo, hi float64, count int64) {
+	lo = h.base * math.Pow(2, float64(i))
+	return lo, lo * 2, h.counts[i]
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) from the
+// bucket boundaries.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	want := int64(math.Ceil(q * float64(h.total)))
+	if want < 1 {
+		want = 1
+	}
+	acc := h.under
+	if acc >= want {
+		return h.base
+	}
+	for i, c := range h.counts {
+		acc += c
+		if acc >= want {
+			_, hi, _ := h.Bucket(i)
+			return hi
+		}
+	}
+	return h.maxSeen
+}
+
+// Render draws the histogram as text bars, skipping empty leading and
+// trailing buckets.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	if h.total == 0 {
+		return "(no samples)\n"
+	}
+	first, last := -1, -1
+	var peak int64
+	for i, c := range h.counts {
+		if c > 0 {
+			if first == -1 {
+				first = i
+			}
+			last = i
+			if c > peak {
+				peak = c
+			}
+		}
+	}
+	var b strings.Builder
+	if h.under > 0 {
+		fmt.Fprintf(&b, "%12s  %8d\n", fmt.Sprintf("<%.0fns", h.base), h.under)
+		if h.under > peak {
+			peak = h.under
+		}
+	}
+	if first == -1 {
+		return b.String()
+	}
+	for i := first; i <= last; i++ {
+		lo, hi, c := h.Bucket(i)
+		bar := strings.Repeat("#", int(float64(width)*float64(c)/float64(peak)))
+		fmt.Fprintf(&b, "%6.0f-%-6.0f %8d %s\n", lo, hi, c, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(100, 16)
+	if h.Total() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Error("empty histogram not zeroed")
+	}
+	if !strings.Contains(h.Render(20), "no samples") {
+		t.Error("empty render")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram(100, 8)
+	h.Add(50)   // under
+	h.Add(150)  // bucket 0: [100,200)
+	h.Add(350)  // bucket 1: [200,400)
+	h.Add(350)  // bucket 1
+	h.Add(1e12) // clamped to last bucket
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if _, _, c := h.Bucket(0); c != 1 {
+		t.Errorf("bucket 0 count %d", c)
+	}
+	if _, _, c := h.Bucket(1); c != 2 {
+		t.Errorf("bucket 1 count %d", c)
+	}
+	if _, _, c := h.Bucket(7); c != 1 {
+		t.Errorf("last bucket count %d", c)
+	}
+	if h.Max() != 1e12 {
+		t.Errorf("Max = %v", h.Max())
+	}
+	lo, hi, _ := h.Bucket(2)
+	if lo != 400 || hi != 800 {
+		t.Errorf("bucket 2 range %v-%v", lo, hi)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(100, 20)
+	for i := 0; i < 90; i++ {
+		h.Add(150) // bucket 0, hi = 200
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(10_000)
+	}
+	if q := h.Quantile(0.5); q != 200 {
+		t.Errorf("Q50 = %v, want 200", q)
+	}
+	if q := h.Quantile(0.99); q < 10_000 {
+		t.Errorf("Q99 = %v, want >= 10000", q)
+	}
+	// All-under case.
+	h2 := NewHistogram(1000, 4)
+	h2.Add(5)
+	if q := h2.Quantile(0.9); q != 1000 {
+		t.Errorf("under-only Q90 = %v", q)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(100, 8)
+	h.Add(50)
+	for i := 0; i < 30; i++ {
+		h.Add(300)
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "<100ns") {
+		t.Errorf("render:\n%s", out)
+	}
+	if h.Render(0) == "" {
+		t.Error("zero-width render empty")
+	}
+}
+
+func TestHistogramDefensiveConstruction(t *testing.T) {
+	h := NewHistogram(-5, 0)
+	h.Add(3)
+	if h.Total() != 1 {
+		t.Error("defensive construction broken")
+	}
+}
+
+// Property: quantile is monotone in q and bounded by Max-or-bucket-edge.
+func TestQuickHistogramQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := NewHistogram(10, 24)
+	for i := 0; i < 500; i++ {
+		h.Add(10 + rng.Float64()*1e6)
+	}
+	f := func(a, b uint8) bool {
+		qa, qb := float64(a)/255, float64(b)/255
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total equals the sum over buckets plus the under-count.
+func TestQuickHistogramConservation(t *testing.T) {
+	f := func(vals []uint32) bool {
+		h := NewHistogram(100, 16)
+		for _, v := range vals {
+			h.Add(float64(v % 1_000_000))
+		}
+		var sum int64 = h.under
+		for i := range h.counts {
+			sum += h.counts[i]
+		}
+		return sum == h.Total() && h.Total() == int64(len(vals))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFamilyStatsFT(t *testing.T) {
+	tr := MustNew(8, 3)
+	s := tr.FamilyStats()
+	if s.Nodes != 128 || s.Switches != 80 || s.SwitchPorts != 8 {
+		t.Fatalf("%+v", s)
+	}
+	if s.Bisection != 64 || s.MaxDistPaths != 16 {
+		t.Fatalf("%+v", s)
+	}
+	if s.SwitchesPerNode != 80.0/128.0 {
+		t.Errorf("sw/node %v", s.SwitchesPerNode)
+	}
+	if s.Links != tr.Links() {
+		t.Errorf("links %d", s.Links)
+	}
+}
+
+func TestKaryNTreeStats(t *testing.T) {
+	// 4-ary 3-tree: 64 nodes, 3*16 = 48 switches of 8 ports, 192 links.
+	s, err := KaryNTreeStats(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes != 64 || s.Switches != 48 || s.SwitchPorts != 8 || s.Links != 192 {
+		t.Fatalf("%+v", s)
+	}
+	if s.Bisection != 32 || s.MaxDistPaths != 16 {
+		t.Fatalf("%+v", s)
+	}
+	if _, err := KaryNTreeStats(1, 3); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := KaryNTreeStats(4, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+// TestMPortTreeIsCheaperPerNode verifies the paper's hardware-efficiency
+// argument: built from the same switches, FT(m, n) needs fewer switches and
+// fewer ports per processing node than the k-ary n-tree.
+func TestMPortTreeIsCheaperPerNode(t *testing.T) {
+	for _, dims := range [][2]int{{4, 2}, {4, 3}, {8, 2}, {8, 3}, {16, 2}} {
+		tr := MustNew(dims[0], dims[1])
+		ft, kary, err := tr.CompareWithKaryNTree()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ft.SwitchPorts != kary.SwitchPorts {
+			t.Fatalf("%s: port mismatch %d vs %d", tr, ft.SwitchPorts, kary.SwitchPorts)
+		}
+		if ft.Nodes != 2*kary.Nodes {
+			t.Errorf("%s: FT should host double the nodes (%d vs %d)", tr, ft.Nodes, kary.Nodes)
+		}
+		if ft.SwitchesPerNode >= kary.SwitchesPerNode {
+			t.Errorf("%s: FT sw/node %.3f >= k-ary %.3f", tr, ft.SwitchesPerNode, kary.SwitchesPerNode)
+		}
+		if ft.PortsPerNode >= kary.PortsPerNode {
+			t.Errorf("%s: FT ports/node %.3f >= k-ary %.3f", tr, ft.PortsPerNode, kary.PortsPerNode)
+		}
+		// Same path diversity at maximum distance.
+		if ft.MaxDistPaths != kary.MaxDistPaths {
+			t.Errorf("%s: path diversity %d vs %d", tr, ft.MaxDistPaths, kary.MaxDistPaths)
+		}
+	}
+}
+
+func TestFormatComparison(t *testing.T) {
+	tr := MustNew(4, 2)
+	ft, kary, err := tr.CompareWithKaryNTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatComparison(ft, kary)
+	if !strings.Contains(out, "m-port n-tree") || !strings.Contains(out, "k-ary n-tree") {
+		t.Errorf("table:\n%s", out)
+	}
+}

@@ -1,0 +1,103 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the tree in Graphviz dot format: switches as boxes ranked by
+// level, processing nodes as ellipses, one edge per bidirectional link
+// labelled with its two port numbers. Render with, e.g.,
+//
+//	go run ./cmd/ibtopo -m 4 -n 2 -dot | dot -Tsvg > ft.svg
+func (t *Tree) DOT() string {
+	var b strings.Builder
+	b.WriteString("graph ft {\n")
+	fmt.Fprintf(&b, "  label=\"FT(%d,%d)\";\n", t.m, t.n)
+	b.WriteString("  rankdir=TB;\n  node [shape=box];\n")
+	// One subgraph per level keeps the drawing layered.
+	for lvl := 0; lvl < t.n; lvl++ {
+		fmt.Fprintf(&b, "  { rank=same;")
+		for s := 0; s < t.switches; s++ {
+			if t.SwitchLevel(SwitchID(s)) == lvl {
+				fmt.Fprintf(&b, " sw%d;", s)
+			}
+		}
+		b.WriteString(" }\n")
+	}
+	b.WriteString("  { rank=same;")
+	for p := 0; p < t.nodes; p++ {
+		fmt.Fprintf(&b, " n%d;", p)
+	}
+	b.WriteString(" }\n")
+	for s := 0; s < t.switches; s++ {
+		fmt.Fprintf(&b, "  sw%d [label=\"%s\"];\n", s, t.SwitchLabel(SwitchID(s)))
+	}
+	for p := 0; p < t.nodes; p++ {
+		fmt.Fprintf(&b, "  n%d [shape=ellipse,label=\"%s\"];\n", p, t.NodeLabel(NodeID(p)))
+	}
+	// Emit each link once, from the canonical (upper or switch) side.
+	for s := 0; s < t.switches; s++ {
+		id := SwitchID(s)
+		for k := 0; k < t.m; k++ {
+			ref := t.SwitchNeighbor(id, k)
+			switch ref.Kind {
+			case KindNode:
+				fmt.Fprintf(&b, "  sw%d -- n%d [taillabel=\"%d\"];\n", s, ref.Node, k+1)
+			case KindSwitch:
+				if t.SwitchLevel(ref.Switch) > t.SwitchLevel(id) {
+					fmt.Fprintf(&b, "  sw%d -- sw%d [taillabel=\"%d\",headlabel=\"%d\"];\n",
+						s, ref.Switch, k+1, ref.Port+1)
+				}
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// PathDOT renders the tree with one route highlighted (bold red edges),
+// given the ordered list of (switch, outPort) hops of a traced path and its
+// endpoints.
+func (t *Tree) PathDOT(src, dst NodeID, hops []struct {
+	Switch  SwitchID
+	OutPort int
+}) string {
+	highlight := map[string]bool{}
+	for _, h := range hops {
+		ref := t.SwitchNeighbor(h.Switch, h.OutPort)
+		switch ref.Kind {
+		case KindNode:
+			highlight[fmt.Sprintf("sw%d -- n%d", h.Switch, ref.Node)] = true
+		case KindSwitch:
+			a, b := h.Switch, ref.Switch
+			if t.SwitchLevel(b) < t.SwitchLevel(a) {
+				a, b = b, a
+			}
+			highlight[fmt.Sprintf("sw%d -- sw%d", a, b)] = true
+		}
+	}
+	// Source and destination attachment links are part of the route.
+	sw, _ := t.NodeAttachment(src)
+	highlight[fmt.Sprintf("sw%d -- n%d", sw, src)] = true
+
+	base := t.DOT()
+	var out strings.Builder
+	for _, line := range strings.Split(base, "\n") {
+		trimmed := strings.TrimSpace(line)
+		marked := false
+		for edge := range highlight {
+			if strings.HasPrefix(trimmed, edge+" ") {
+				out.WriteString(strings.Replace(line, "];", ",color=red,penwidth=3];", 1))
+				out.WriteString("\n")
+				marked = true
+				break
+			}
+		}
+		if !marked {
+			out.WriteString(line)
+			out.WriteString("\n")
+		}
+	}
+	return strings.TrimSuffix(out.String(), "\n")
+}

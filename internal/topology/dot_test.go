@@ -1,0 +1,68 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTStructure(t *testing.T) {
+	tr := MustNew(4, 2)
+	out := tr.DOT()
+	if !strings.HasPrefix(out, "graph ft {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatalf("not a dot graph:\n%s", out)
+	}
+	// All devices present.
+	for s := 0; s < tr.Switches(); s++ {
+		if !strings.Contains(out, tr.SwitchLabel(SwitchID(s))) {
+			t.Errorf("missing switch %d", s)
+		}
+	}
+	for p := 0; p < tr.Nodes(); p++ {
+		if !strings.Contains(out, tr.NodeLabel(NodeID(p))) {
+			t.Errorf("missing node %d", p)
+		}
+	}
+	// One edge line per link.
+	if got := strings.Count(out, " -- "); got != tr.Links() {
+		t.Errorf("%d edges, want %d", got, tr.Links())
+	}
+}
+
+func TestPathDOTHighlights(t *testing.T) {
+	tr := MustNew(4, 2)
+	// Route 0 -> 7: leaf up, root, leaf down, node.
+	hops := []struct {
+		Switch  SwitchID
+		OutPort int
+	}{}
+	sw, _ := tr.NodeAttachment(0)
+	// Ascend via first up-port, descend to node 7's leaf and port.
+	ref := tr.SwitchNeighbor(sw, tr.DownPorts(sw))
+	hops = append(hops, struct {
+		Switch  SwitchID
+		OutPort int
+	}{sw, tr.DownPorts(sw)})
+	root := ref.Switch
+	leaf7, port7 := tr.NodeAttachment(7)
+	for k := 0; k < tr.M(); k++ {
+		if r := tr.SwitchNeighbor(root, k); r.Kind == KindSwitch && r.Switch == leaf7 {
+			hops = append(hops, struct {
+				Switch  SwitchID
+				OutPort int
+			}{root, k})
+			break
+		}
+	}
+	hops = append(hops, struct {
+		Switch  SwitchID
+		OutPort int
+	}{leaf7, port7})
+
+	out := tr.PathDOT(0, 7, hops)
+	if got := strings.Count(out, "color=red"); got < 3 {
+		t.Errorf("%d highlighted edges, want >= 3:\n%s", got, out)
+	}
+	if strings.Count(out, " -- ") != tr.Links() {
+		t.Error("highlighting changed the edge count")
+	}
+}

@@ -1,0 +1,106 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the tree level by level as text, in the style of the paper's
+// Figure 5: each switch with its label, and the leaf level followed by the
+// attached processing nodes. Intended for small fabrics; levels wider than
+// maxWidth characters are elided with a count.
+func (t *Tree) Render(maxWidth int) string {
+	if maxWidth <= 0 {
+		maxWidth = 100
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t)
+	for lvl := 0; lvl < t.n; lvl++ {
+		var cells []string
+		for s := 0; s < t.switches; s++ {
+			if t.SwitchLevel(SwitchID(s)) == lvl {
+				cells = append(cells, t.SwitchLabel(SwitchID(s)))
+			}
+		}
+		line := strings.Join(cells, " ")
+		if len(line) > maxWidth {
+			line = fmt.Sprintf("%s ... (%d switches)", cells[0], len(cells))
+		}
+		fmt.Fprintf(&b, "level %d: %s\n", lvl, line)
+	}
+	var nodes []string
+	for p := 0; p < t.nodes; p++ {
+		nodes = append(nodes, t.NodeLabel(NodeID(p)))
+	}
+	line := strings.Join(nodes, " ")
+	if len(line) > maxWidth {
+		line = fmt.Sprintf("%s ... (%d nodes)", nodes[0], len(nodes))
+	}
+	fmt.Fprintf(&b, "nodes:   %s\n", line)
+	return b.String()
+}
+
+// DescribeSwitch renders one switch's wiring: every port and its peer.
+func (t *Tree) DescribeSwitch(id SwitchID) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (level %d, %d down ports)\n", t.SwitchLabel(id), t.SwitchLevel(id), t.DownPorts(id))
+	for k := 0; k < t.m; k++ {
+		ref := t.SwitchNeighbor(id, k)
+		dir := "down"
+		if k >= t.DownPorts(id) {
+			dir = "up"
+		}
+		switch ref.Kind {
+		case KindNode:
+			fmt.Fprintf(&b, "  port %2d (phys %2d, %-4s) -> %s\n", k, k+1, dir, t.NodeLabel(ref.Node))
+		case KindSwitch:
+			fmt.Fprintf(&b, "  port %2d (phys %2d, %-4s) -> %s port %d\n",
+				k, k+1, dir, t.SwitchLabel(ref.Switch), ref.Port)
+		default:
+			fmt.Fprintf(&b, "  port %2d (phys %2d) unwired\n", k, k+1)
+		}
+	}
+	return b.String()
+}
+
+// Distance returns the minimal number of switch hops between two nodes:
+// 2*(n-alpha)-1 for distinct nodes, 0 for identical ones.
+func (t *Tree) Distance(a, b NodeID) int {
+	if a == b {
+		return 0
+	}
+	return 2*(t.n-t.GCPLen(a, b)) - 1
+}
+
+// AverageDistance returns the mean switch-hop distance over all ordered
+// pairs of distinct nodes, computed in closed form from the gcpg sizes.
+func (t *Tree) AverageDistance() float64 {
+	n := float64(t.nodes)
+	if t.nodes < 2 {
+		return 0
+	}
+	var total float64
+	// For a fixed node, the number of peers with gcp length exactly alpha:
+	// peers sharing alpha digits minus peers sharing alpha+1 digits.
+	for alpha := 0; alpha < t.n; alpha++ {
+		shareAlpha := float64(t.GCPGSize(alpha) - 1)
+		shareNext := float64(0)
+		if alpha+1 <= t.n {
+			shareNext = float64(t.GCPGSize(alpha+1) - 1)
+		}
+		peers := shareAlpha - shareNext
+		total += peers * float64(2*(t.n-alpha)-1)
+	}
+	return total / (n - 1)
+}
+
+// BisectionLinks returns the number of links crossing the bisection that
+// separates the first half of the processing nodes (PIDs < N/2) from the
+// second: the up-links of the top level on one side, h^(n-1) * (m/2) / ...
+// For an m-port n-tree this equals (m/2)^n: every root switch has exactly
+// half its down-links in each half, so (m/2)^(n-1) roots x m/2 links each.
+func (t *Tree) BisectionLinks() int {
+	// Roots have m down-links; those with digit-0 paths into the lower half
+	// are the links to level-1 switches whose first digit < m/2.
+	return t.perLevel * t.h
+}

@@ -1,0 +1,96 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderSmallTree(t *testing.T) {
+	tr := MustNew(4, 2)
+	out := tr.Render(200)
+	for _, want := range []string{"FT(4,2)", "level 0:", "level 1:", "nodes:", "SW<0,0>", "P(30)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderElidesWideLevels(t *testing.T) {
+	tr := MustNew(16, 2)
+	out := tr.Render(40)
+	if !strings.Contains(out, "... (128 nodes)") {
+		t.Errorf("wide node row not elided:\n%s", out)
+	}
+	if !strings.Contains(out, "switches)") {
+		t.Errorf("wide switch row not elided:\n%s", out)
+	}
+	// Zero width falls back to a sane default.
+	if tr.Render(0) == "" {
+		t.Error("Render(0) empty")
+	}
+}
+
+func TestDescribeSwitch(t *testing.T) {
+	tr := MustNew(4, 2)
+	leaf, _ := tr.NodeAttachment(0)
+	out := tr.DescribeSwitch(leaf)
+	if !strings.Contains(out, "P(00)") || !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Errorf("DescribeSwitch:\n%s", out)
+	}
+	root := tr.SwitchesWithPrefix(nil, 0)[0]
+	if strings.Contains(tr.DescribeSwitch(root), " up") {
+		t.Error("root switch described with up ports")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	tr := MustNew(4, 3)
+	a := NodeID(0)
+	if tr.Distance(a, a) != 0 {
+		t.Error("self distance")
+	}
+	b, _ := tr.NodeFromDigits([]int{0, 0, 1}) // same leaf
+	if got := tr.Distance(a, b); got != 1 {
+		t.Errorf("same-leaf distance %d", got)
+	}
+	c, _ := tr.NodeFromDigits([]int{3, 1, 1}) // alpha 0
+	if got := tr.Distance(a, c); got != 5 {
+		t.Errorf("max distance %d", got)
+	}
+}
+
+func TestAverageDistanceMatchesEnumeration(t *testing.T) {
+	for _, tr := range []*Tree{MustNew(4, 1), MustNew(4, 2), MustNew(4, 3), MustNew(8, 2)} {
+		var total, pairs float64
+		for a := 0; a < tr.Nodes(); a++ {
+			for b := 0; b < tr.Nodes(); b++ {
+				if a == b {
+					continue
+				}
+				total += float64(tr.Distance(NodeID(a), NodeID(b)))
+				pairs++
+			}
+		}
+		want := total / pairs
+		got := tr.AverageDistance()
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: AverageDistance %v, enumerated %v", tr, got, want)
+		}
+	}
+}
+
+func TestBisectionLinks(t *testing.T) {
+	cases := []struct{ m, n, want int }{
+		{4, 1, 2}, {4, 2, 4}, {4, 3, 8}, {8, 2, 16}, {16, 2, 64},
+	}
+	for _, c := range cases {
+		tr := MustNew(c.m, c.n)
+		if got := tr.BisectionLinks(); got != c.want {
+			t.Errorf("FT(%d,%d): bisection %d, want %d", c.m, c.n, got, c.want)
+		}
+		// Full bisection bandwidth: N/2 links for half the nodes.
+		if got := tr.BisectionLinks(); got != tr.Nodes()/2 {
+			t.Errorf("FT(%d,%d): bisection %d != N/2", c.m, c.n, got)
+		}
+	}
+}

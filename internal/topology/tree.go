@@ -1,0 +1,440 @@
+// Package topology implements the m-port n-tree family of fat-trees, FT(m, n),
+// proposed by Lin, Chung and Huang ("A Multiple LID Routing Scheme for
+// Fat-Tree-Based InfiniBand Networks", IPDPS 2004) as the substrate for
+// fat-tree-based InfiniBand networks.
+//
+// An FT(m, n) has height n+1 and is built entirely from fixed-arity m-port
+// switches. Writing h = m/2:
+//
+//   - there are 2*h^n processing nodes, labelled P(p0 p1 ... p[n-1]) with
+//     p0 in [0, m) and pi in [0, h) for i >= 1;
+//   - there are (2n-1)*h^(n-1) switches, labelled SW<w0 ... w[n-2], l> with
+//     level l in [0, n); level 0 (the roots) has h^(n-1) switches whose
+//     digits are all in [0, h); every other level has 2*h^(n-1) switches
+//     with w0 in [0, m) and the remaining digits in [0, h).
+//
+// Links follow the paper's connection rule: switch SW<w, l> port k connects
+// to switch SW<w', l+1> port k' if and only if w and w' agree on every digit
+// except position l, k = w'_l, and k' = w_l + h. A leaf switch SW<w, n-1>
+// connects its port k to processing node P(p) when w = p0..p[n-2] and
+// k = p[n-1]. Ports in this package are "abstract" ports numbered 0..m-1;
+// the InfiniBand instantiation maps abstract port k to physical port k+1
+// because physical port 0 of an InfiniBand switch is the management port.
+//
+// The package represents nodes and switches by dense integer identifiers and
+// computes all adjacency arithmetically, so a multi-thousand-port fabric
+// costs no memory beyond its parameters.
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// NodeID identifies a processing node. NodeIDs are dense in [0, Tree.Nodes())
+// and equal the node's PID (rank in gcpg(épsilon, 0)) as defined by the paper.
+type NodeID int32
+
+// SwitchID identifies a communication switch. SwitchIDs are dense in
+// [0, Tree.Switches()), ordered by level and then by label.
+type SwitchID int32
+
+// Kind discriminates the two endpoint types of a link.
+type Kind uint8
+
+const (
+	// KindNode marks a processing-node endpoint.
+	KindNode Kind = iota
+	// KindSwitch marks a switch endpoint.
+	KindSwitch
+	// KindNone marks the absence of an endpoint (an unwired port).
+	KindNone
+)
+
+// String returns a short human-readable name for the endpoint kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNode:
+		return "node"
+	case KindSwitch:
+		return "switch"
+	default:
+		return "none"
+	}
+}
+
+// PortRef names one endpoint of a link: an entity and one of its ports.
+// Processing nodes have a single port (0); switches have m abstract ports.
+type PortRef struct {
+	Kind Kind
+	// Node is valid when Kind == KindNode.
+	Node NodeID
+	// Switch is valid when Kind == KindSwitch.
+	Switch SwitchID
+	// Port is the abstract port number on the endpoint.
+	Port int
+}
+
+// String renders the endpoint as, e.g., "SW<102,1>:3" or "P(010)".
+func (p PortRef) String() string {
+	switch p.Kind {
+	case KindNode:
+		return fmt.Sprintf("node %d port %d", p.Node, p.Port)
+	case KindSwitch:
+		return fmt.Sprintf("switch %d port %d", p.Switch, p.Port)
+	default:
+		return "none"
+	}
+}
+
+// Tree is an immutable description of an FT(m, n) fat-tree.
+type Tree struct {
+	m int // switch arity (ports per switch); power of two, >= 4
+	n int // tree "dimension"; height is n+1
+	h int // m/2: down-degree of non-root switches
+
+	logH int // log2(h)
+
+	nodes        int     // 2*h^n
+	switches     int     // (2n-1)*h^(n-1)
+	perLevel     int     // h^(n-1): switches in level 0
+	perMidLevel  int     // 2*h^(n-1): switches in each level >= 1
+	hPow         []int64 // hPow[i] = h^i, i in [0, n]
+	nodeWeight   []int64 // nodeWeight[i] = h^(n-1-i): PID weight of digit i
+	switchWeight []int64 // switchWeight[i] = h^(n-2-i): label weight of digit i (n >= 2)
+}
+
+// New constructs the FT(m, n) fat-tree description.
+//
+// m must be a power of two with m >= 4 (the paper requires a power of two so
+// that the LMC addressing of the MLID scheme partitions the LID space), and
+// n must be >= 1. FT(m, 1) degenerates to a single m-port crossbar switch
+// connecting m nodes.
+func New(m, n int) (*Tree, error) {
+	if m < 4 || m&(m-1) != 0 {
+		return nil, fmt.Errorf("topology: m must be a power of two >= 4, got %d", m)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("topology: n must be >= 1, got %d", n)
+	}
+	h := m / 2
+	// Guard against overflow of the dense ID spaces.
+	if float64(n)*float64(bits.Len(uint(h))-1) > 28 {
+		return nil, fmt.Errorf("topology: FT(%d,%d) is too large (more than 2^29 nodes)", m, n)
+	}
+	t := &Tree{m: m, n: n, h: h, logH: bits.Len(uint(h)) - 1}
+	t.hPow = make([]int64, n+1)
+	t.hPow[0] = 1
+	for i := 1; i <= n; i++ {
+		t.hPow[i] = t.hPow[i-1] * int64(h)
+	}
+	t.perLevel = int(t.hPow[n-1])
+	t.perMidLevel = 2 * t.perLevel
+	t.nodes = 2 * int(t.hPow[n])
+	t.switches = (2*n - 1) * t.perLevel
+	t.nodeWeight = make([]int64, n)
+	for i := 0; i < n; i++ {
+		t.nodeWeight[i] = t.hPow[n-1-i]
+	}
+	if n >= 2 {
+		t.switchWeight = make([]int64, n-1)
+		for i := 0; i < n-1; i++ {
+			t.switchWeight[i] = t.hPow[n-2-i]
+		}
+	}
+	return t, nil
+}
+
+// MustNew is New, panicking on invalid parameters. It is intended for tests
+// and examples with constant arguments.
+func MustNew(m, n int) *Tree {
+	t, err := New(m, n)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// M returns the switch arity (number of ports per switch).
+func (t *Tree) M() int { return t.m }
+
+// N returns the tree dimension n; the tree height is n+1.
+func (t *Tree) N() int { return t.n }
+
+// H returns m/2, the down-degree of non-root switches.
+func (t *Tree) H() int { return t.h }
+
+// Nodes returns the number of processing nodes, 2*(m/2)^n.
+func (t *Tree) Nodes() int { return t.nodes }
+
+// Switches returns the number of switches, (2n-1)*(m/2)^(n-1).
+func (t *Tree) Switches() int { return t.switches }
+
+// Levels returns the number of switch levels, n. Level 0 holds the roots and
+// level n-1 the leaf switches that attach processing nodes.
+func (t *Tree) Levels() int { return t.n }
+
+// SwitchesInLevel returns the number of switches in the given level:
+// (m/2)^(n-1) for level 0 and 2*(m/2)^(n-1) otherwise.
+func (t *Tree) SwitchesInLevel(level int) int {
+	if level == 0 {
+		return t.perLevel
+	}
+	return t.perMidLevel
+}
+
+// Links returns the total number of bidirectional links, counting both
+// switch-switch and switch-node links.
+func (t *Tree) Links() int {
+	// Every switch level below the roots contributes one up-link per
+	// (switch, up-port); equivalently, each non-root switch has h up-links.
+	interSwitch := (t.n - 1) * t.perMidLevel * t.h
+	return interSwitch + t.nodes
+}
+
+// String implements fmt.Stringer.
+func (t *Tree) String() string {
+	return fmt.Sprintf("FT(%d,%d): %d nodes, %d switches", t.m, t.n, t.nodes, t.switches)
+}
+
+// ValidNode reports whether id names a processing node of the tree.
+func (t *Tree) ValidNode(id NodeID) bool { return id >= 0 && int(id) < t.nodes }
+
+// ValidSwitch reports whether id names a switch of the tree.
+func (t *Tree) ValidSwitch(id SwitchID) bool { return id >= 0 && int(id) < t.switches }
+
+// NodeDigits returns the label digits p0..p[n-1] of a node. The NodeID is the
+// PID, i.e. the mixed-radix value of the digits with weights (m/2)^(n-1-i).
+func (t *Tree) NodeDigits(id NodeID) []int {
+	d := make([]int, t.n)
+	t.nodeDigitsInto(id, d)
+	return d
+}
+
+func (t *Tree) nodeDigitsInto(id NodeID, d []int) {
+	v := int64(id)
+	for i := 0; i < t.n; i++ {
+		d[i] = int(v / t.nodeWeight[i])
+		v %= t.nodeWeight[i]
+	}
+}
+
+// NodeDigit returns digit i of the node label without allocating.
+func (t *Tree) NodeDigit(id NodeID, i int) int {
+	if i == 0 {
+		return int(int64(id) / t.nodeWeight[0])
+	}
+	return int(int64(id) / t.nodeWeight[i] % int64(t.h))
+}
+
+// NodeFromDigits returns the NodeID with the given label digits.
+// It returns an error if a digit is out of range.
+func (t *Tree) NodeFromDigits(d []int) (NodeID, error) {
+	if len(d) != t.n {
+		return 0, fmt.Errorf("topology: node label needs %d digits, got %d", t.n, len(d))
+	}
+	if d[0] < 0 || d[0] >= t.m {
+		return 0, fmt.Errorf("topology: node digit 0 out of range [0,%d): %d", t.m, d[0])
+	}
+	var v int64
+	v = int64(d[0]) * t.nodeWeight[0]
+	for i := 1; i < t.n; i++ {
+		if d[i] < 0 || d[i] >= t.h {
+			return 0, fmt.Errorf("topology: node digit %d out of range [0,%d): %d", i, t.h, d[i])
+		}
+		v += int64(d[i]) * t.nodeWeight[i]
+	}
+	return NodeID(v), nil
+}
+
+// NodeLabel renders the node label as the paper writes it, e.g. "P(010)".
+// Digits of two or more decimal places are separated by dots.
+func (t *Tree) NodeLabel(id NodeID) string {
+	return "P(" + digitString(t.NodeDigits(id)) + ")"
+}
+
+// SwitchLevel returns the level of the switch, in [0, n).
+func (t *Tree) SwitchLevel(id SwitchID) int {
+	if int(id) < t.perLevel {
+		return 0
+	}
+	return 1 + (int(id)-t.perLevel)/t.perMidLevel
+}
+
+// SwitchDigits returns the label digits w0..w[n-2] and the level of a switch.
+// For n == 1 the digit slice is empty.
+func (t *Tree) SwitchDigits(id SwitchID) (digits []int, level int) {
+	digits = make([]int, t.n-1)
+	level = t.switchDigitsInto(id, digits)
+	return digits, level
+}
+
+func (t *Tree) switchDigitsInto(id SwitchID, d []int) (level int) {
+	idx := int64(id)
+	if idx < int64(t.perLevel) {
+		level = 0
+	} else {
+		idx -= int64(t.perLevel)
+		level = 1 + int(idx/int64(t.perMidLevel))
+		idx %= int64(t.perMidLevel)
+	}
+	// Digit 0 has weight h^(n-2) and range [0, m) at levels >= 1, [0, h) at
+	// level 0; the remaining digits have range [0, h). Both cases decode with
+	// the same mixed-radix division.
+	for i := 0; i < t.n-1; i++ {
+		d[i] = int(idx / t.switchWeight[i])
+		idx %= t.switchWeight[i]
+	}
+	return level
+}
+
+// SwitchFromDigits returns the SwitchID with the given label digits and level.
+func (t *Tree) SwitchFromDigits(d []int, level int) (SwitchID, error) {
+	if len(d) != t.n-1 {
+		return 0, fmt.Errorf("topology: switch label needs %d digits, got %d", t.n-1, len(d))
+	}
+	if level < 0 || level >= t.n {
+		return 0, fmt.Errorf("topology: switch level out of range [0,%d): %d", t.n, level)
+	}
+	limit0 := t.h
+	if level >= 1 {
+		limit0 = t.m
+	}
+	var idx int64
+	for i := 0; i < t.n-1; i++ {
+		limit := t.h
+		if i == 0 {
+			limit = limit0
+		}
+		if d[i] < 0 || d[i] >= limit {
+			return 0, fmt.Errorf("topology: switch digit %d out of range [0,%d): %d", i, limit, d[i])
+		}
+		idx += int64(d[i]) * t.switchWeight[i]
+	}
+	if level == 0 {
+		return SwitchID(idx), nil
+	}
+	return SwitchID(int64(t.perLevel) + int64(level-1)*int64(t.perMidLevel) + idx), nil
+}
+
+// SwitchLabel renders the switch label as the paper writes it, e.g. "SW<10,1>".
+func (t *Tree) SwitchLabel(id SwitchID) string {
+	d, l := t.SwitchDigits(id)
+	return fmt.Sprintf("SW<%s,%d>", digitString(d), l)
+}
+
+func digitString(d []int) string {
+	wide := false
+	for _, v := range d {
+		if v > 9 {
+			wide = true
+			break
+		}
+	}
+	s := ""
+	for i, v := range d {
+		if wide && i > 0 {
+			s += "."
+		}
+		s += fmt.Sprintf("%d", v)
+	}
+	return s
+}
+
+// IsLeaf reports whether the switch is a leaf switch (level n-1), i.e. has
+// processing nodes attached.
+func (t *Tree) IsLeaf(id SwitchID) bool { return t.SwitchLevel(id) == t.n-1 }
+
+// IsRoot reports whether the switch is a root switch (level 0).
+func (t *Tree) IsRoot(id SwitchID) bool { return t.SwitchLevel(id) == 0 }
+
+// DownPorts returns the number of downward abstract ports of the switch:
+// m for a root switch and m/2 otherwise. Downward ports are 0..DownPorts-1;
+// the remaining ports (if any) are upward.
+func (t *Tree) DownPorts(id SwitchID) int {
+	if t.SwitchLevel(id) == 0 {
+		return t.m
+	}
+	return t.h
+}
+
+// NodeAttachment returns the leaf switch and abstract port to which the node
+// attaches: SW<p0..p[n-2], n-1> port p[n-1].
+func (t *Tree) NodeAttachment(id NodeID) (SwitchID, int) {
+	// The leaf-switch label digits are the first n-1 node digits, and the
+	// port is the final node digit. Because NodeID is a mixed-radix value
+	// whose lowest weight is 1, the port is id mod h... except for n == 1,
+	// where the single digit p0 in [0, m) is the port on the sole switch.
+	if t.n == 1 {
+		return 0, int(id)
+	}
+	// The final node digit is the attachment port, and the leading n-1 node
+	// digits are exactly the leaf-switch label (both are mixed-radix values
+	// over the same digit ranges), so the label offset is id / h.
+	port := int(int64(id) % int64(t.h))
+	prefix := int64(id) / int64(t.h)
+	sw := SwitchID(int64(t.perLevel) + int64(t.n-2)*int64(t.perMidLevel) + prefix)
+	return sw, port
+}
+
+// SwitchNeighbor returns the entity wired to the given abstract port of the
+// switch. Ports carry:
+//
+//   - leaf switches (level n-1): ports 0..h-1 attach nodes; for n == 1 the
+//     single root/leaf switch attaches all m nodes on ports 0..m-1;
+//   - root switches (level 0, n >= 2): ports 0..m-1 go down to level 1;
+//   - other switches: ports 0..h-1 go down to level+1, ports h..m-1 go up to
+//     level-1.
+func (t *Tree) SwitchNeighbor(id SwitchID, port int) PortRef {
+	if port < 0 || port >= t.m {
+		return PortRef{Kind: KindNone}
+	}
+	var d [32]int
+	digits := d[:t.n-1]
+	level := t.switchDigitsInto(id, digits)
+
+	if t.n == 1 {
+		// Single switch; every port holds a node whose PID is the port.
+		return PortRef{Kind: KindNode, Node: NodeID(port), Port: 0}
+	}
+
+	down := t.h
+	if level == 0 {
+		down = t.m
+	}
+	if port < down {
+		// Downward.
+		if level == t.n-1 {
+			// Leaf: port k attaches node P(w0..w[n-2] k).
+			pid := int64(0)
+			pid = 0
+			for i := 0; i < t.n-1; i++ {
+				pid += int64(digits[i]) * t.nodeWeight[i]
+			}
+			pid += int64(port)
+			return PortRef{Kind: KindNode, Node: NodeID(pid), Port: 0}
+		}
+		// Child at level+1 agrees on all digits except position `level`,
+		// where the child's digit equals this port; the child's up-port is
+		// our digit at position `level` plus h.
+		childDigits := digits
+		old := childDigits[level]
+		childDigits[level] = port
+		child, err := t.SwitchFromDigits(childDigits, level+1)
+		childDigits[level] = old
+		if err != nil {
+			return PortRef{Kind: KindNone}
+		}
+		return PortRef{Kind: KindSwitch, Switch: child, Port: old + t.h}
+	}
+	// Upward: port h..m-1 selects the parent's digit at position level-1.
+	parentDigits := digits
+	old := parentDigits[level-1]
+	parentDigits[level-1] = port - t.h
+	parent, err := t.SwitchFromDigits(parentDigits, level-1)
+	parentDigits[level-1] = old
+	if err != nil {
+		return PortRef{Kind: KindNone}
+	}
+	return PortRef{Kind: KindSwitch, Switch: parent, Port: old}
+}

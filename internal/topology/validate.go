@@ -1,0 +1,120 @@
+package topology
+
+import "fmt"
+
+// Adjacency is a fully materialized wiring table of a tree, used by the
+// validator, the subnet-manager discovery sweep and by tests. Entry
+// [switch][port] is the peer of that abstract port.
+type Adjacency struct {
+	// SwitchPeers[s][k] is the peer of switch s, abstract port k.
+	SwitchPeers [][]PortRef
+	// NodePeers[p] is the (switch, port) a node attaches to.
+	NodePeers []PortRef
+}
+
+// BuildAdjacency materializes the wiring of the whole tree.
+func (t *Tree) BuildAdjacency() *Adjacency {
+	a := &Adjacency{
+		SwitchPeers: make([][]PortRef, t.switches),
+		NodePeers:   make([]PortRef, t.nodes),
+	}
+	for s := 0; s < t.switches; s++ {
+		row := make([]PortRef, t.m)
+		for k := 0; k < t.m; k++ {
+			row[k] = t.SwitchNeighbor(SwitchID(s), k)
+		}
+		a.SwitchPeers[s] = row
+	}
+	for p := 0; p < t.nodes; p++ {
+		sw, port := t.NodeAttachment(NodeID(p))
+		a.NodePeers[p] = PortRef{Kind: KindSwitch, Switch: sw, Port: port}
+	}
+	return a
+}
+
+// Validate checks the structural invariants of the constructed tree:
+//
+//   - every link is bidirectional and consistent (A's view of B matches B's
+//     view of A);
+//   - every switch has exactly m wired ports, split into the documented
+//     down/up ranges;
+//   - every node attaches to exactly one leaf-switch port, and every
+//     leaf-switch down port holds exactly one node;
+//   - level populations and totals match the closed-form counts.
+//
+// It returns nil when the topology is sound.
+func (t *Tree) Validate() error {
+	adj := t.BuildAdjacency()
+
+	// Node attachments.
+	seen := make(map[[2]int32]NodeID)
+	for p := 0; p < t.nodes; p++ {
+		ref := adj.NodePeers[p]
+		if ref.Kind != KindSwitch {
+			return fmt.Errorf("node %d attaches to non-switch %v", p, ref)
+		}
+		if !t.ValidSwitch(ref.Switch) {
+			return fmt.Errorf("node %d attaches to invalid switch %d", p, ref.Switch)
+		}
+		if lvl := t.SwitchLevel(ref.Switch); lvl != t.n-1 {
+			return fmt.Errorf("node %d attaches to level-%d switch %s", p, lvl, t.SwitchLabel(ref.Switch))
+		}
+		key := [2]int32{int32(ref.Switch), int32(ref.Port)}
+		if prev, dup := seen[key]; dup {
+			return fmt.Errorf("nodes %d and %d share %s port %d", prev, p, t.SwitchLabel(ref.Switch), ref.Port)
+		}
+		seen[key] = NodeID(p)
+		// Reverse view.
+		back := adj.SwitchPeers[ref.Switch][ref.Port]
+		if back.Kind != KindNode || back.Node != NodeID(p) {
+			return fmt.Errorf("asymmetric node link: node %d -> %s port %d -> %v", p, t.SwitchLabel(ref.Switch), ref.Port, back)
+		}
+	}
+
+	// Switch wiring.
+	for s := 0; s < t.switches; s++ {
+		id := SwitchID(s)
+		level := t.SwitchLevel(id)
+		down := t.DownPorts(id)
+		for k := 0; k < t.m; k++ {
+			ref := adj.SwitchPeers[s][k]
+			switch ref.Kind {
+			case KindNone:
+				return fmt.Errorf("%s port %d unwired", t.SwitchLabel(id), k)
+			case KindNode:
+				if level != t.n-1 {
+					return fmt.Errorf("%s (level %d) port %d holds a node", t.SwitchLabel(id), level, k)
+				}
+				if k >= down {
+					return fmt.Errorf("%s up-port %d holds a node", t.SwitchLabel(id), k)
+				}
+			case KindSwitch:
+				peerLevel := t.SwitchLevel(ref.Switch)
+				wantPeer := level + 1
+				if k >= down {
+					wantPeer = level - 1
+				}
+				if peerLevel != wantPeer {
+					return fmt.Errorf("%s port %d connects level %d, want %d", t.SwitchLabel(id), k, peerLevel, wantPeer)
+				}
+				back := adj.SwitchPeers[ref.Switch][ref.Port]
+				if back.Kind != KindSwitch || back.Switch != id || back.Port != k {
+					return fmt.Errorf("asymmetric link: %s port %d -> %s port %d -> %v",
+						t.SwitchLabel(id), k, t.SwitchLabel(ref.Switch), ref.Port, back)
+				}
+			}
+		}
+	}
+
+	// Level populations.
+	counts := make([]int, t.n)
+	for s := 0; s < t.switches; s++ {
+		counts[t.SwitchLevel(SwitchID(s))]++
+	}
+	for lvl, c := range counts {
+		if c != t.SwitchesInLevel(lvl) {
+			return fmt.Errorf("level %d has %d switches, want %d", lvl, c, t.SwitchesInLevel(lvl))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MultiHotspot generalizes Centric to several hotspots: with probability
+// Fraction the destination is drawn uniformly from the hotspot set,
+// otherwise uniformly from all other nodes. Spreading the concentration
+// over k destinations multiplies the aggregate sink capacity by k, which is
+// how real systems dilute the single-sink bound the centric pattern hits.
+type MultiHotspot struct {
+	Nodes    int
+	Hotspots []int
+	Fraction float64
+}
+
+// Name implements Pattern.
+func (m MultiHotspot) Name() string {
+	return fmt.Sprintf("hotspot%dx%.0f%%", len(m.Hotspots), m.Fraction*100)
+}
+
+// Dest implements Pattern.
+func (m MultiHotspot) Dest(src int, rng *rand.Rand) int {
+	if len(m.Hotspots) > 0 && rng.Float64() < m.Fraction {
+		d := m.Hotspots[rng.Intn(len(m.Hotspots))]
+		if d != src {
+			return d
+		}
+	}
+	for {
+		d := rng.Intn(m.Nodes - 1)
+		if d >= src {
+			d++
+		}
+		if d != src {
+			return d
+		}
+	}
+}
+
+// Local draws destinations with a bias toward nearby nodes: with probability
+// Locality the destination shares the source's leaf switch (PID block of
+// size m/2); otherwise it is uniform. Locality stresses the short intra-leaf
+// paths the fat-tree serves without any ascent.
+type Local struct {
+	Nodes    int
+	LeafSize int // nodes per leaf switch (m/2)
+	Locality float64
+}
+
+// Name implements Pattern.
+func (l Local) Name() string { return fmt.Sprintf("local%.0f%%", l.Locality*100) }
+
+// Dest implements Pattern.
+func (l Local) Dest(src int, rng *rand.Rand) int {
+	if l.LeafSize > 1 && rng.Float64() < l.Locality {
+		base := src - src%l.LeafSize
+		d := base + rng.Intn(l.LeafSize-1)
+		if d >= src {
+			d++
+		}
+		if d < l.Nodes && d != src {
+			return d
+		}
+	}
+	for {
+		d := rng.Intn(l.Nodes - 1)
+		if d >= src {
+			d++
+		}
+		if d != src {
+			return d
+		}
+	}
+}
+
+// Tornado sends every packet halfway around the PID space:
+// dst = (src + N/2) mod N — the classic adversarial permutation for
+// direct networks, benign on fat-trees but useful as a regression workload.
+func Tornado(nodes int) PermutationPattern {
+	perm := make([]int, nodes)
+	for i := range perm {
+		perm[i] = (i + nodes/2) % nodes
+	}
+	return PermutationPattern{Label: "tornado", Perm: perm}
+}

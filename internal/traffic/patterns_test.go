@@ -1,0 +1,103 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMultiHotspotDistribution(t *testing.T) {
+	m := MultiHotspot{Nodes: 32, Hotspots: []int{3, 9, 20}, Fraction: 0.6}
+	rng := rand.New(rand.NewSource(1))
+	hits := map[int]int{}
+	total := 60000
+	for i := 0; i < total; i++ {
+		src := i % 32
+		d := m.Dest(src, rng)
+		if d == src || d < 0 || d >= 32 {
+			t.Fatalf("Dest(%d) = %d", src, d)
+		}
+		hits[d]++
+	}
+	hot := hits[3] + hits[9] + hits[20]
+	frac := float64(hot) / float64(total)
+	if math.Abs(frac-0.62) > 0.05 { // 0.6 direct + uniform residue
+		t.Errorf("hotspot fraction %.3f", frac)
+	}
+	// The three hotspots receive comparable shares.
+	for _, h := range []int{3, 9, 20} {
+		if hits[h] < hot/3-2000 || hits[h] > hot/3+2000 {
+			t.Errorf("hotspot %d received %d of %d", h, hits[h], hot)
+		}
+	}
+	if m.Name() != "hotspot3x60%" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestMultiHotspotNoHotspots(t *testing.T) {
+	m := MultiHotspot{Nodes: 8, Fraction: 0.9}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		if d := m.Dest(1, rng); d == 1 || d < 0 || d >= 8 {
+			t.Fatalf("Dest = %d", d)
+		}
+	}
+}
+
+func TestMultiHotspotSelfHotspot(t *testing.T) {
+	// A source that is itself the only hotspot falls back to uniform.
+	m := MultiHotspot{Nodes: 8, Hotspots: []int{2}, Fraction: 1.0}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		if d := m.Dest(2, rng); d == 2 {
+			t.Fatal("hotspot sent to itself")
+		}
+	}
+}
+
+func TestLocalPattern(t *testing.T) {
+	l := Local{Nodes: 32, LeafSize: 4, Locality: 0.8}
+	rng := rand.New(rand.NewSource(4))
+	local, total := 0, 40000
+	for i := 0; i < total; i++ {
+		src := i % 32
+		d := l.Dest(src, rng)
+		if d == src || d < 0 || d >= 32 {
+			t.Fatalf("Dest(%d) = %d", src, d)
+		}
+		if d/4 == src/4 {
+			local++
+		}
+	}
+	frac := float64(local) / float64(total)
+	// 0.8 direct plus the uniform residue landing in-leaf (0.2 * 3/31).
+	if math.Abs(frac-0.82) > 0.05 {
+		t.Errorf("local fraction %.3f", frac)
+	}
+	if l.Name() != "local80%" {
+		t.Errorf("Name = %q", l.Name())
+	}
+}
+
+func TestLocalDegenerateLeaf(t *testing.T) {
+	l := Local{Nodes: 8, LeafSize: 1, Locality: 1.0}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		if d := l.Dest(0, rng); d == 0 {
+			t.Fatal("self destination")
+		}
+	}
+}
+
+func TestTornado(t *testing.T) {
+	tor := Tornado(16)
+	for i := 0; i < 16; i++ {
+		if tor.Perm[i] != (i+8)%16 {
+			t.Fatalf("tornado[%d] = %d", i, tor.Perm[i])
+		}
+	}
+	if tor.Label != "tornado" {
+		t.Error("label")
+	}
+}
