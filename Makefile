@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test ci bench bench-engine vet race
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the race detector over the packages with internal concurrency
+# (the experiment worker pool) and the simulator it drives.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/experiment/...
+
+# ci is the gate for every change: tier-1 tests plus vet and the race pass.
+ci: build vet test race
+
+# bench regenerates the figure-level benchmarks with allocation counts.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkFig' -benchmem -benchtime 1x .
+
+# bench-engine runs the scheduler micro-benchmarks (ns/event, allocs/op).
+bench-engine:
+	$(GO) test -run xxx -bench 'BenchmarkEngineSchedule|BenchmarkRunSmall' -benchmem ./internal/sim/

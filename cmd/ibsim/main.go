@@ -10,9 +10,38 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mlid"
 )
+
+// startCPUProfile begins CPU profiling into path ("" disables) and returns a
+// stop function.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	fatal(err)
+	fatal(pprof.StartCPUProfile(f))
+	return func() {
+		pprof.StopCPUProfile()
+		fatal(f.Close())
+	}
+}
+
+// writeMemProfile records a heap profile to path ("" disables).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	fatal(err)
+	runtime.GC() // up-to-date allocation statistics
+	fatal(pprof.WriteHeapProfile(f))
+	fatal(f.Close())
+}
 
 func main() {
 	var (
@@ -33,6 +62,8 @@ func main() {
 		hist      = flag.Bool("hist", false, "print a latency histogram")
 		topPorts  = flag.Int("ports", 0, "print the N busiest directed links")
 		tracePkts = flag.Int("trace", 0, "print hop-by-hop timelines of the first N packets")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile after the run to this file")
 	)
 	flag.Parse()
 
@@ -66,6 +97,7 @@ func main() {
 	if *hist {
 		latHist = mlid.NewHistogram(256, 24)
 	}
+	stopCPU := startCPUProfile(*cpuProf)
 	res, err := mlid.Simulate(mlid.SimConfig{
 		Subnet:           subnet,
 		Pattern:          pat,
@@ -82,6 +114,8 @@ func main() {
 		TracePackets:     *tracePkts,
 		Seed:             *seed,
 	})
+	stopCPU()
+	writeMemProfile(*memProf)
 	fatal(err)
 
 	fmt.Printf("%s, %s scheme, %s traffic, %d VL(s), %d-byte packets\n",

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"mlid"
 )
@@ -27,10 +29,31 @@ func main() {
 		table1 = flag.Bool("table1", false, "print Table 1 (network configurations)")
 		fig    = flag.String("fig", "", "figure to run: F1..F8, a short name like c-16x2, or 'all'")
 		quick  = flag.Bool("quick", false, "reduced load points and windows")
-		chart  = flag.Bool("chart", false, "render ASCII charts to stdout")
-		csvDir = flag.String("csv", "", "directory to write per-figure CSV files into")
+		chart   = flag.Bool("chart", false, "render ASCII charts to stdout")
+		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files into")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sweeps to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile after the sweeps to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		fatal(err)
+		fatal(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			fatal(f.Close())
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			fatal(err)
+			runtime.GC() // up-to-date allocation statistics
+			fatal(pprof.WriteHeapProfile(f))
+			fatal(f.Close())
+		}()
+	}
 
 	if *table1 {
 		rows, err := mlid.EvalTable1(mlid.EvalNetworks())

@@ -155,7 +155,8 @@ func (s *Sim) enqueueBatchPacket(src, dst topology.NodeID) {
 		vl = n.nextVL
 		n.nextVL = (n.nextVL + 1) % s.cfg.DataVLs
 	}
-	p := &pkt{Packet: ib.Packet{
+	p := s.newPkt()
+	p.Packet = ib.Packet{
 		SLID:    s.cfg.Subnet.Endports[src].Base,
 		DLID:    dlid,
 		VL:      uint8(vl),
@@ -164,7 +165,7 @@ func (s *Sim) enqueueBatchPacket(src, dst topology.NodeID) {
 		Src:     int32(src),
 		Dst:     int32(dst),
 		GenTime: 0,
-	}}
+	}
 	s.requestTransfer(n.out, p)
 }
 

@@ -298,7 +298,12 @@ type Result struct {
 	// InFlightAtEnd = TotalGenerated - TotalDelivered: packets still queued
 	// or in the fabric when the run stopped.
 	InFlightAtEnd int64
-	// Events is the number of simulator events processed.
+	// Events is the number of simulator events processed — typed event
+	// records dispatched by the engine loop (generation, routing, arrivals,
+	// deliveries, credits, arbitration kicks and buffer releases). The count
+	// is deterministic for a configuration and seed, and independent of
+	// which scheduler path (calendar queue or fallback heap) carried each
+	// event.
 	Events int64
 	// EndTime is the simulated timestamp the run stopped at.
 	EndTime Time

@@ -18,74 +18,230 @@
 //
 // Simulated time is integer nanoseconds. Runs are deterministic for a given
 // configuration and seed.
+//
+// The scheduling core is allocation-free on the hot path: events are small
+// typed records (no closures), queued in a calendar queue of 1 ns buckets for
+// the short-horizon deadlines that dominate a run (link fly times, crossbar
+// routing, per-byte transmit completions), with a monomorphic slice-backed
+// min-heap as the fallback for far-future deadlines. See DESIGN.md, "Event
+// engine internals".
 package sim
-
-import "container/heap"
 
 // Time is simulated time in nanoseconds.
 type Time = int64
 
-// event is a scheduled callback.
+// evKind names the simulator actions an event can trigger. Dispatch is a
+// switch in (*Sim).dispatch; adding a kind means adding a case there.
+type evKind uint8
+
+const (
+	evNone evKind = iota
+	// evGenerate creates the next open-loop packet at node a.
+	evGenerate
+	// evRoute fires when the crossbar routing delay of packet p at switch a
+	// elapses: the forwarding table names the output port.
+	evRoute
+	// evSwArrive is packet p's head reaching input port b of switch a.
+	evSwArrive
+	// evNodeArrive is packet p's head reaching destination endnode a.
+	evNodeArrive
+	// evDeliver finalizes packet p at endnode a (tail fully received).
+	evDeliver
+	// evCredit returns one VL-b credit to transmitter op.
+	evCredit
+	// evKick re-arbitrates output port op when its link frees.
+	evKick
+	// evRelease frees a VL-b output-buffer slot of op (tail left the switch).
+	evRelease
+)
+
+// event is one scheduled typed record. The argument fields are a union over
+// the kinds: a/b carry small indices (node, switch, port, VL) and op/p carry
+// the object handles. Keeping the record flat — no closure, no interface —
+// is what makes scheduling allocation-free.
 type event struct {
-	t   Time
-	seq uint64
-	fn  func()
+	t    Time
+	seq  uint64
+	op   *outPort
+	p    *pkt
+	a    int32
+	b    int32
+	kind evKind
 }
 
-// eventQueue is a binary min-heap on (t, seq); seq makes scheduling order a
-// deterministic tiebreak.
-type eventQueue struct {
-	items []event
-	seq   uint64
-}
-
-func (q *eventQueue) Len() int { return len(q.items) }
-func (q *eventQueue) Less(i, j int) bool {
-	if q.items[i].t != q.items[j].t {
-		return q.items[i].t < q.items[j].t
+// less orders events by (t, seq); seq makes scheduling order a deterministic
+// tiebreak, exactly as the original container/heap engine did.
+func (ev event) less(o event) bool {
+	if ev.t != o.t {
+		return ev.t < o.t
 	}
-	return q.items[i].seq < q.items[j].seq
-}
-func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
-func (q *eventQueue) Push(x any)    { q.items = append(q.items, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := q.items
-	n := len(old)
-	it := old[n-1]
-	q.items = old[:n-1]
-	return it
+	return ev.seq < o.seq
 }
 
-// engine drives the event loop.
+// Calendar geometry: 1 ns ticks, 2^calBits buckets. The window covers every
+// deadline the default model produces (fly 10 ns, route 100 ns, 256 B
+// serialization); only far-future deadlines — low-load interarrivals, jumbo
+// packet serializations — fall through to the heap.
+const (
+	calBits = 12
+	calSize = 1 << calBits
+	calMask = calSize - 1
+)
+
+// calBucket is one 1 ns tick of the calendar: a FIFO drained by head index so
+// its backing array is reused as the ring wraps.
+type calBucket struct {
+	evs  []event
+	head int
+}
+
+// engineHeapOnly, when set before build, routes every event through the
+// far-heap fallback. It exists so tests can prove the calendar and heap
+// scheduler paths produce identical results.
+var engineHeapOnly bool
+
+// engine drives the event loop: a hybrid calendar queue (events within
+// calSize ns of now) plus a min-heap (everything later). Because each bucket
+// holds exactly one timestamp and seq grows monotonically, append order is
+// seq order and buckets need no sorting; cross-structure ties resolve by
+// comparing (t, seq) of the two heads.
 type engine struct {
 	now Time
-	q   eventQueue
+	seq uint64
+	// heapOnly disables the calendar fast path (test hook: the determinism
+	// suite proves both scheduler paths agree).
+	heapOnly bool
+	calCount int
+	// scanFrom caches the bucket scan cursor: no calendar event exists in
+	// [now, scanFrom).
+	scanFrom Time
+	buckets  []calBucket
+	far      eventHeap
 }
 
-// at schedules fn to run at time t (>= now).
-func (e *engine) at(t Time, fn func()) {
+// schedule enqueues ev at time t (clamped to >= now).
+func (e *engine) schedule(t Time, ev event) {
 	if t < e.now {
 		t = e.now
 	}
-	e.q.seq++
-	heap.Push(&e.q, event{t: t, seq: e.q.seq, fn: fn})
+	e.seq++
+	ev.t = t
+	ev.seq = e.seq
+	if !e.heapOnly && t-e.now < calSize {
+		if e.buckets == nil {
+			e.buckets = make([]calBucket, calSize)
+		}
+		b := &e.buckets[int(t&calMask)]
+		b.evs = append(b.evs, ev)
+		e.calCount++
+		if t < e.scanFrom {
+			e.scanFrom = t
+		}
+		return
+	}
+	e.far.push(ev)
 }
 
-// after schedules fn to run d nanoseconds from now.
-func (e *engine) after(d Time, fn func()) { e.at(e.now+d, fn) }
+// pop removes and returns the earliest pending event, or ok=false when the
+// queue is empty or the earliest event is later than end (it stays queued).
+func (e *engine) pop(end Time) (event, bool) {
+	var calT Time
+	haveCal := e.calCount > 0
+	if haveCal {
+		// Find the earliest non-empty bucket. All calendar events sit in
+		// [now, now+calSize) and each tick owns one bucket, so the first hit
+		// scanning forward is the calendar minimum; the cursor makes the
+		// scan O(1) amortized over a run.
+		t := e.scanFrom
+		if t < e.now {
+			t = e.now
+		}
+		for {
+			b := &e.buckets[int(t&calMask)]
+			if b.head < len(b.evs) {
+				break
+			}
+			t++
+		}
+		e.scanFrom = t
+		calT = t
+	}
+	useCal := haveCal
+	if haveCal && len(e.far) > 0 {
+		b := &e.buckets[int(calT&calMask)]
+		useCal = b.evs[b.head].less(e.far[0])
+	}
+	if useCal {
+		if calT > end {
+			return event{}, false
+		}
+		b := &e.buckets[int(calT&calMask)]
+		ev := b.evs[b.head]
+		b.evs[b.head] = event{} // drop op/p references
+		b.head++
+		if b.head == len(b.evs) {
+			b.evs = b.evs[:0]
+			b.head = 0
+		}
+		e.calCount--
+		e.now = calT
+		return ev, true
+	}
+	if len(e.far) == 0 {
+		return event{}, false
+	}
+	if e.far[0].t > end {
+		return event{}, false
+	}
+	ev := e.far.pop()
+	e.now = ev.t
+	return ev, true
+}
 
-// runUntil processes events in order until the queue is empty or the next
-// event is later than end. It returns the number of events processed.
-func (e *engine) runUntil(end Time) int64 {
-	var n int64
-	for e.q.Len() > 0 {
-		if e.q.items[0].t > end {
+// pending reports the number of queued events.
+func (e *engine) pending() int { return e.calCount + len(e.far) }
+
+// eventHeap is a monomorphic binary min-heap on (t, seq). Hand-rolled push
+// and pop avoid the interface boxing of container/heap: no per-event
+// allocation, no dynamic dispatch.
+type eventHeap []event
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	hh := *h
+	i := len(hh) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !hh[i].less(hh[parent]) {
 			break
 		}
-		ev := heap.Pop(&e.q).(event)
-		e.now = ev.t
-		ev.fn()
-		n++
+		hh[i], hh[parent] = hh[parent], hh[i]
+		i = parent
 	}
-	return n
+}
+
+func (h *eventHeap) pop() event {
+	hh := *h
+	top := hh[0]
+	n := len(hh) - 1
+	hh[0] = hh[n]
+	hh[n] = event{} // drop op/p references
+	*h = hh[:n]
+	hh = hh[:n]
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < n && hh[l].less(hh[small]) {
+			small = l
+		}
+		if r := 2*i + 2; r < n && hh[r].less(hh[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		hh[i], hh[small] = hh[small], hh[i]
+		i = small
+	}
+	return top
 }

@@ -1,0 +1,12 @@
+package sim
+
+import "testing"
+
+// withHeapOnlyEngine runs fn with the calendar queue disabled, forcing every
+// event through the far-heap fallback path.
+func withHeapOnlyEngine[T any](t *testing.T, fn func() T) T {
+	t.Helper()
+	engineHeapOnly = true
+	defer func() { engineHeapOnly = false }()
+	return fn()
+}

@@ -29,6 +29,33 @@ type pkt struct {
 	trace *PacketTrace
 }
 
+// pktFIFO is a packet queue drained by head index so its backing array is
+// reused instead of re-allocated (append + [1:] reslicing strands capacity).
+// Compaction keeps memory bounded when the queue never fully drains.
+type pktFIFO struct {
+	items []*pkt
+	head  int
+}
+
+func (q *pktFIFO) push(p *pkt) { q.items = append(q.items, p) }
+func (q *pktFIFO) len() int    { return len(q.items) - q.head }
+
+func (q *pktFIFO) popFront() *pkt {
+	p := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	} else if q.head >= 32 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		clear(q.items[n:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return p
+}
+
 // rxRef names the receiving side of a directed link.
 type rxRef struct {
 	isNode bool
@@ -48,10 +75,10 @@ type outPort struct {
 	isSource bool
 
 	busyUntil Time
-	credits   []int32  // per VL: receiver input-buffer credits held
-	occupancy []int32  // per VL: packets resident in the output buffer
-	queue     [][]*pkt // per VL: packets in the output buffer, FIFO
-	waiting   [][]*pkt // per VL: packets stuck in input buffers upstream of
+	credits   []int32   // per VL: receiver input-buffer credits held
+	occupancy []int32   // per VL: packets resident in the output buffer
+	queue     []pktFIFO // per VL: packets in the output buffer, FIFO
+	waiting   [][]*pkt  // per VL: packets stuck in input buffers upstream of
 	// the crossbar, waiting for an output-buffer slot
 	rrNext    int   // round-robin pointer over VLs (link arbitration)
 	rrIn      []int // per VL: round-robin pointer over input ports (crossbar arbitration)
@@ -67,7 +94,7 @@ func newOutPort(dest rxRef, vls, bufPackets int, limited, isSource bool) *outPor
 		isSource:  isSource,
 		credits:   make([]int32, vls),
 		occupancy: make([]int32, vls),
-		queue:     make([][]*pkt, vls),
+		queue:     make([]pktFIFO, vls),
 		waiting:   make([][]*pkt, vls),
 		rrIn:      make([]int, vls),
 	}
@@ -123,6 +150,11 @@ type Sim struct {
 	// lastDelivery is the latest tail-delivery timestamp (batch makespan).
 	lastDelivery Time
 
+	// pktFree recycles delivered packets. A pkt on this list is dead: the
+	// model must never reference a packet after its evDeliver dispatched
+	// (see DESIGN.md, "Event engine internals").
+	pktFree []*pkt
+
 	// series accumulators, indexed by tail / SeriesIntervalNs.
 	seriesBytes []int64
 	seriesCount []int64
@@ -143,8 +175,7 @@ func Run(cfg Config) (Result, error) {
 	ia := s.interarrival()
 	for i, n := range s.nodes {
 		n.nextGen = n.rng.Float64() * ia
-		node := int32(i)
-		s.at(Time(math.Round(n.nextGen)), func() { s.generate(node) })
+		s.schedule(Time(math.Round(n.nextGen)), event{kind: evGenerate, a: int32(i)})
 	}
 
 	events := s.runUntil(s.end)
@@ -258,6 +289,7 @@ func build(cfg Config) *Sim {
 		nodes:    make([]*nodeState, t.Nodes()),
 		serPkt:   Time(cfg.PacketSize) * cfg.NsPerByte,
 	}
+	s.engine.heapOnly = engineHeapOnly
 	for sw := 0; sw < t.Switches(); sw++ {
 		st := &switchState{lft: cfg.Subnet.LFTs[sw], out: make([]*outPort, t.M())}
 		for k := 0; k < t.M(); k++ {
@@ -293,6 +325,66 @@ func (s *Sim) interarrival() float64 {
 	return float64(s.cfg.PacketSize) * float64(s.cfg.NsPerByte) / s.cfg.OfferedLoad
 }
 
+// runUntil processes events in order until the queue is empty or the next
+// event is later than end. It returns the number of events processed.
+func (s *Sim) runUntil(end Time) int64 {
+	var n int64
+	for {
+		ev, ok := s.pop(end)
+		if !ok {
+			break
+		}
+		s.dispatch(ev)
+		n++
+	}
+	return n
+}
+
+// dispatch runs one typed event. This switch replaces the per-event closure
+// of the original engine; it is the single place event kinds gain meaning.
+func (s *Sim) dispatch(ev event) {
+	switch ev.kind {
+	case evGenerate:
+		s.generate(ev.a)
+	case evRoute:
+		s.route(ev.a, ev.p)
+	case evSwArrive:
+		s.swArrive(ev.a, int(ev.b), ev.p)
+	case evNodeArrive:
+		s.nodeArrive(ev.a, ev.p)
+	case evDeliver:
+		// The event fires exactly at the packet's tail-arrival time.
+		s.deliver(ev.a, ev.p, s.now)
+		s.freePkt(ev.p)
+	case evCredit:
+		s.creditArrive(ev.op, int(ev.b))
+	case evKick:
+		ev.op.kickArmed = false
+		s.kick(ev.op)
+	case evRelease:
+		s.releaseSlot(ev.op, int(ev.b))
+	default:
+		s.fail(fmt.Errorf("sim: unknown event kind %d (engine bug)", ev.kind))
+	}
+}
+
+// newPkt returns a zeroed packet, reusing a recycled one when available.
+func (s *Sim) newPkt() *pkt {
+	if n := len(s.pktFree); n > 0 {
+		p := s.pktFree[n-1]
+		s.pktFree = s.pktFree[:n-1]
+		*p = pkt{}
+		return p
+	}
+	return new(pkt)
+}
+
+// freePkt returns a delivered packet to the free list. The caller guarantees
+// no live reference to p remains anywhere in the model.
+func (s *Sim) freePkt(p *pkt) {
+	s.pktFree = append(s.pktFree, p)
+}
+
 // generate creates one packet at the node, enqueues it at the source and
 // schedules the next generation.
 func (s *Sim) generate(node int32) {
@@ -310,7 +402,8 @@ func (s *Sim) generate(node int32) {
 		vl = n.nextVL
 		n.nextVL = (n.nextVL + 1) % s.cfg.DataVLs
 	}
-	p := &pkt{Packet: ib.Packet{
+	p := s.newPkt()
+	p.Packet = ib.Packet{
 		SLID:    s.cfg.Subnet.Endports[node].Base,
 		DLID:    dlid,
 		VL:      uint8(vl),
@@ -319,7 +412,7 @@ func (s *Sim) generate(node int32) {
 		Src:     node,
 		Dst:     int32(dst),
 		GenTime: s.now,
-	}}
+	}
 	if s.flowSeq != nil {
 		idx := int(node)*s.tree.Nodes() + dst
 		s.flowSeq[idx]++
@@ -337,7 +430,7 @@ func (s *Sim) generate(node int32) {
 	n.nextGen += s.interarrival()
 	next := Time(math.Round(n.nextGen))
 	if next <= s.end {
-		s.at(next, func() { s.generate(node) })
+		s.schedule(next, event{kind: evGenerate, a: node})
 	}
 }
 
@@ -371,25 +464,29 @@ func (s *Sim) swArrive(sw int32, inPort int, p *pkt) {
 		// Store-and-forward: the table lookup waits for the tail.
 		delay += s.serPkt
 	}
-	s.after(delay, func() {
-		st := s.switches[sw]
-		phys, err := st.lft.Lookup(p.DLID)
-		if err != nil {
-			s.fail(fmt.Errorf("sim: switch %d cannot forward DLID %d: %w", sw, p.DLID, err))
-			return
-		}
-		out := int(phys) - 1
-		if out < 0 || out >= len(st.out) {
-			s.fail(fmt.Errorf("sim: switch %d forwards DLID %d to invalid port %d", sw, p.DLID, phys))
-			return
-		}
-		op := st.out[out]
-		if s.cfg.Reception == ReceptionIdeal && op.dest.isNode {
-			s.deliverIdeal(op.dest.node, p)
-			return
-		}
-		s.requestTransfer(op, p)
-	})
+	s.schedule(s.now+delay, event{kind: evRoute, a: sw, p: p})
+}
+
+// route fires when the crossbar routing delay elapses: the forwarding table
+// names the output port and the packet requests an output-buffer slot.
+func (s *Sim) route(sw int32, p *pkt) {
+	st := s.switches[sw]
+	phys, err := st.lft.Lookup(p.DLID)
+	if err != nil {
+		s.fail(fmt.Errorf("sim: switch %d cannot forward DLID %d: %w", sw, p.DLID, err))
+		return
+	}
+	out := int(phys) - 1
+	if out < 0 || out >= len(st.out) {
+		s.fail(fmt.Errorf("sim: switch %d forwards DLID %d to invalid port %d", sw, p.DLID, phys))
+		return
+	}
+	op := st.out[out]
+	if s.cfg.Reception == ReceptionIdeal && op.dest.isNode {
+		s.deliverIdeal(op.dest.node, p)
+		return
+	}
+	s.requestTransfer(op, p)
 }
 
 // requestTransfer asks for an output-buffer slot on (op, p.VL). If the buffer
@@ -416,11 +513,10 @@ func (s *Sim) completeTransfer(op *outPort, p *pkt) {
 		if s.now > free {
 			free = s.now
 		}
-		up := p.upstream
-		s.at(free+s.cfg.FlyNs, func() { s.creditArrive(up, vl) })
+		s.schedule(free+s.cfg.FlyNs, event{kind: evCredit, op: p.upstream, b: int32(vl)})
 		p.upstream = nil
 	}
-	op.queue[vl] = append(op.queue[vl], p)
+	op.queue[vl].push(p)
 	s.kick(op)
 }
 
@@ -434,12 +530,9 @@ func (s *Sim) kick(op *outPort) {
 	if op.busyUntil > s.now {
 		// Re-arbitrate when the link frees, if anything is pending.
 		for vl := range op.queue {
-			if len(op.queue[vl]) > 0 {
+			if op.queue[vl].len() > 0 {
 				op.kickArmed = true
-				s.at(op.busyUntil, func() {
-					op.kickArmed = false
-					s.kick(op)
-				})
+				s.schedule(op.busyUntil, event{kind: evKick, op: op})
 				return
 			}
 		}
@@ -448,7 +541,7 @@ func (s *Sim) kick(op *outPort) {
 	n := len(op.queue)
 	for i := 0; i < n; i++ {
 		vl := (op.rrNext + i) % n
-		if len(op.queue[vl]) > 0 && op.credits[vl] > 0 {
+		if op.queue[vl].len() > 0 && op.credits[vl] > 0 {
 			op.rrNext = (vl + 1) % n
 			s.transmit(op, vl)
 			s.kick(op) // arm for the next pending packet, if any
@@ -459,8 +552,7 @@ func (s *Sim) kick(op *outPort) {
 
 // transmit starts serializing the head packet of the VL onto the link.
 func (s *Sim) transmit(op *outPort, vl int) {
-	p := op.queue[vl][0]
-	op.queue[vl] = op.queue[vl][1:]
+	p := op.queue[vl].popFront()
 	op.credits[vl]--
 	if op.credits[vl] < 0 {
 		s.fail(fmt.Errorf("sim: credit underflow on VL %d (model bug)", vl))
@@ -481,16 +573,16 @@ func (s *Sim) transmit(op *outPort, vl int) {
 		}
 	}
 	if op.limited {
-		s.at(op.busyUntil, func() { s.releaseSlot(op, vl) })
+		s.schedule(op.busyUntil, event{kind: evRelease, op: op, b: int32(vl)})
 	} else {
 		op.occupancy[vl]--
 	}
 	p.upstream = op
 	dest := op.dest
 	if dest.isNode {
-		s.at(start+s.cfg.FlyNs, func() { s.nodeArrive(dest.node, p) })
+		s.schedule(start+s.cfg.FlyNs, event{kind: evNodeArrive, a: dest.node, p: p})
 	} else {
-		s.at(start+s.cfg.FlyNs, func() { s.swArrive(dest.sw, dest.port, p) })
+		s.schedule(start+s.cfg.FlyNs, event{kind: evSwArrive, a: dest.sw, b: int32(dest.port), p: p})
 	}
 }
 
@@ -547,14 +639,13 @@ func (s *Sim) creditArrive(op *outPort, vl int) {
 // streamed through, and no shared final-link resource exists.
 func (s *Sim) deliverIdeal(node int32, p *pkt) {
 	tail := s.now + s.cfg.FlyNs + s.serPkt
-	s.at(tail, func() { s.deliver(node, p, tail) })
+	s.schedule(tail, event{kind: evDeliver, a: node, p: p})
 	if p.upstream != nil {
 		free := p.arrival + s.serPkt
 		if s.now > free {
 			free = s.now
 		}
-		up, vl := p.upstream, int(p.VL)
-		s.at(free+s.cfg.FlyNs, func() { s.creditArrive(up, vl) })
+		s.schedule(free+s.cfg.FlyNs, event{kind: evCredit, op: p.upstream, b: int32(p.VL)})
 		p.upstream = nil
 	}
 }
@@ -565,9 +656,10 @@ func (s *Sim) deliverIdeal(node int32, p *pkt) {
 func (s *Sim) nodeArrive(node int32, p *pkt) {
 	tail := s.now + s.serPkt
 	up := p.upstream
-	vl := int(p.VL)
-	s.at(tail, func() { s.deliver(node, p, tail) })
-	s.at(tail+s.cfg.FlyNs, func() { s.creditArrive(up, vl) })
+	vl := int32(p.VL)
+	p.upstream = nil
+	s.schedule(tail, event{kind: evDeliver, a: node, p: p})
+	s.schedule(tail+s.cfg.FlyNs, event{kind: evCredit, op: up, b: vl})
 }
 
 // deliver finalizes a packet at its destination: correctness check,
