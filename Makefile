@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test ci bench bench-engine vet race
+.PHONY: build test ci bench bench-engine vet lint lint-fix race
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,26 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# race runs the race detector over the packages with internal concurrency
-# (the experiment worker pool) and the simulator it drives.
-race:
-	$(GO) test -race ./internal/sim/... ./internal/experiment/...
+# lint runs ibvet: the standard go vet passes plus the repo's own
+# determinism and pooling analyzers (internal/lint).
+lint:
+	$(GO) run ./cmd/ibvet ./...
 
-# ci is the gate for every change: tier-1 tests plus vet and the race pass.
-ci: build vet test race
+# lint-fix has no auto-fixer; it reruns ibvet so the findings to address are
+# the last thing on screen. Fix each by sorting map keys / moving the access,
+# or suppress a deliberate one with a reasoned "//lint:ignore <analyzer> why".
+lint-fix: lint
+
+# race runs the race detector over the packages with internal concurrency
+# (the experiment worker pool, the simulator it drives) and the packages the
+# determinism analyzers guard (sm, core), whose order-sensitive paths the
+# race pass exercises twice via the determinism regression tests.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/experiment/... ./internal/sm/... ./internal/core/...
+
+# ci is the gate for every change: tier-1 tests plus vet, ibvet and the race
+# pass.
+ci: build vet lint test race
 
 # bench regenerates the figure-level benchmarks with allocation counts.
 bench:

@@ -64,8 +64,38 @@ func LinkLoad(t *topology.Tree, s Scheme, flows []Flow) (*LoadReport, error) {
 			r.Load[LinkKey{Kind: topology.KindSwitch, Entity: int32(h.Switch), Port: h.OutPort}] += f.Weight
 		}
 	}
+	r.summarize()
+	return r, nil
+}
+
+// SortedLinkKeys returns a load map's keys in canonical (kind, entity, port)
+// order — the iteration order every load summary uses.
+func SortedLinkKeys(load map[LinkKey]float64) []LinkKey {
+	keys := make([]LinkKey, 0, len(load))
+	for k := range load {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Entity != b.Entity {
+			return a.Entity < b.Entity
+		}
+		return a.Port < b.Port
+	})
+	return keys
+}
+
+// summarize fills Max, MaxLink and Mean from Load. It walks the keys in
+// canonical order: the float sum then always accumulates in the same order
+// (addition is not associative) and a tie for the maximum always resolves to
+// the same MaxLink, keeping reports byte-identical across runs.
+func (r *LoadReport) summarize() {
 	var sum float64
-	for k, v := range r.Load {
+	for _, k := range SortedLinkKeys(r.Load) {
+		v := r.Load[k]
 		sum += v
 		if v > r.Max {
 			r.Max, r.MaxLink = v, k
@@ -74,7 +104,6 @@ func LinkLoad(t *topology.Tree, s Scheme, flows []Flow) (*LoadReport, error) {
 	if len(r.Load) > 0 {
 		r.Mean = sum / float64(len(r.Load))
 	}
-	return r, nil
 }
 
 // TopLinks returns the n most loaded links, heaviest first.

@@ -36,11 +36,11 @@ func TestAllToOneLinkLoad(t *testing.T) {
 	// SLID: compare the heaviest *ascending* link.
 	maxUp := func(r *LoadReport) float64 {
 		var m float64
-		for k, v := range r.Load {
+		for _, k := range SortedLinkKeys(r.Load) {
 			if k.Kind != topology.KindSwitch {
 				continue
 			}
-			if k.Port >= tr.DownPorts(topology.SwitchID(k.Entity)) && v > m {
+			if v := r.Load[k]; k.Port >= tr.DownPorts(topology.SwitchID(k.Entity)) && v > m {
 				m = v
 			}
 		}
@@ -137,7 +137,8 @@ func TestBitComplementBalance(t *testing.T) {
 		t.Fatal(err)
 	}
 	var first float64 = -1
-	for k, v := range r.Load {
+	for _, k := range SortedLinkKeys(r.Load) {
+		v := r.Load[k]
 		if k.Kind != topology.KindSwitch || k.Port < tr.DownPorts(topology.SwitchID(k.Entity)) {
 			continue
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"mlid/internal/ib"
 	"mlid/internal/topology"
@@ -121,11 +122,7 @@ func CheckDeadlockFree(sn *ib.Subnet) (*DeadlockReport, error) {
 				out = append(out, k)
 			}
 			// Deterministic order for reproducible cycle reports.
-			for i := 1; i < len(out); i++ {
-				for j := i; j > 0 && out[j] < out[j-1]; j-- {
-					out[j], out[j-1] = out[j-1], out[j]
-				}
-			}
+			sort.Ints(out)
 			return out
 		}
 		stack := []frame{{node: start, next: keys(adj[start])}}
@@ -158,7 +155,14 @@ func CheckDeadlockFree(sn *ib.Subnet) (*DeadlockReport, error) {
 		}
 		return nil
 	}
+	// Start DFS roots in sorted order: which cycle gets reported depends on
+	// the traversal order, and the report must not vary run to run.
+	roots := make([]int, 0, len(adj))
 	for id := range adj {
+		roots = append(roots, id)
+	}
+	sort.Ints(roots)
+	for _, id := range roots {
 		if color[id] != white {
 			continue
 		}

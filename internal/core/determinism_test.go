@@ -1,0 +1,60 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"mlid/internal/topology"
+)
+
+// TestLinkLoadDeterministic runs the same load analysis twice and requires
+// identical reports. The regression this guards: summaries used to fold the
+// load map in map-iteration order, so MaxLink (tie-broken by encounter
+// order) and Mean (float addition is not associative) could differ between
+// runs. The shift permutation loads many links equally, so the maximum is a
+// many-way tie and an order-dependent tie-break cannot hide.
+func TestLinkLoadDeterministic(t *testing.T) {
+	tr := topology.MustNew(8, 2)
+	n := tr.Nodes()
+	flows := Permutation(tr, func(i int) int { return (i + n/2) % n })
+	for _, s := range []Scheme{NewSLID(), NewMLID()} {
+		a, err := LinkLoad(tr, s, flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := LinkLoad(tr, s, flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Max != b.Max || a.Mean != b.Mean || a.MaxLink != b.MaxLink {
+			t.Fatalf("%s: summaries differ across runs: (%v, %v, %v) vs (%v, %v, %v)",
+				s.Name(), a.Max, a.Mean, a.MaxLink, b.Max, b.Mean, b.MaxLink)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: reports differ across runs", s.Name())
+		}
+	}
+}
+
+// TestOptimizePathsDeterministic requires the greedy planner to make the
+// same choices and compute the same summary twice — its cost scan and load
+// summary both fold float maps, which must happen in a fixed order.
+func TestOptimizePathsDeterministic(t *testing.T) {
+	tr := topology.MustNew(4, 3)
+	flows := AllToOne(tr, 0)
+	s := NewMLID()
+	a, err := OptimizePaths(tr, s, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OptimizePaths(tr, s, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxLoad != b.MaxLoad || a.MeanLoad != b.MeanLoad {
+		t.Fatalf("plan summaries differ: (%v, %v) vs (%v, %v)", a.MaxLoad, a.MeanLoad, b.MaxLoad, b.MeanLoad)
+	}
+	if !reflect.DeepEqual(a.dlid, b.dlid) {
+		t.Fatal("planned DLID assignments differ across runs")
+	}
+}

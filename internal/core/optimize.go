@@ -94,8 +94,21 @@ func OptimizePaths(t *topology.Tree, s MLID, flows []Flow) (*PathPlan, error) {
 		plan.dlid[[2]topology.NodeID{f.Src, f.Dst}] = bestLID
 	}
 
+	// Summarize over sorted keys so the float sum accumulates in a fixed
+	// order regardless of map iteration.
+	lks := make([]linkKey, 0, len(load))
+	for k := range load {
+		lks = append(lks, k)
+	}
+	sort.Slice(lks, func(i, j int) bool {
+		if lks[i].sw != lks[j].sw {
+			return lks[i].sw < lks[j].sw
+		}
+		return lks[i].port < lks[j].port
+	})
 	var sum float64
-	for _, v := range load {
+	for _, k := range lks {
+		v := load[k]
 		sum += v
 		if v > plan.MaxLoad {
 			plan.MaxLoad = v
@@ -126,15 +139,6 @@ func PlanLinkLoad(t *topology.Tree, s MLID, plan *PathPlan, flows []Flow) (*Load
 			r.Load[LinkKey{Kind: topology.KindSwitch, Entity: int32(h.Switch), Port: h.OutPort}] += f.Weight
 		}
 	}
-	var sum float64
-	for k, v := range r.Load {
-		sum += v
-		if v > r.Max {
-			r.Max, r.MaxLink = v, k
-		}
-	}
-	if len(r.Load) > 0 {
-		r.Mean = sum / float64(len(r.Load))
-	}
+	r.summarize()
 	return r, nil
 }

@@ -2,6 +2,7 @@ package discover
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"mlid/internal/topology"
@@ -22,11 +23,7 @@ func TestQuickSingleCorruptionRejected(t *testing.T) {
 			guids = append(guids, guid)
 		}
 		// Map iteration order is random; sort for reproducibility.
-		for i := 1; i < len(guids); i++ {
-			for j := i; j > 0 && guids[j] < guids[j-1]; j-- {
-				guids[j], guids[j-1] = guids[j-1], guids[j]
-			}
-		}
+		sort.Slice(guids, func(i, j int) bool { return guids[i] < guids[j] })
 		sw := g.Switches[guids[rng.Intn(len(guids))]]
 		port := 1 + rng.Intn(sw.NumPorts)
 

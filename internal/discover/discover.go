@@ -171,9 +171,16 @@ func Recognize(g *Graph) (*Labeling, error) {
 	if len(g.Switches) == 0 {
 		return nil, fmt.Errorf("discover: no switches found")
 	}
-	// Uniform switch arity, power of two, >= 4.
+	// Uniform switch arity, power of two, >= 4. The scan walks GUIDs in
+	// sorted order so a mixed-arity fabric always yields the same error.
+	swGUIDs := make([]uint64, 0, len(g.Switches))
+	for guid := range g.Switches {
+		swGUIDs = append(swGUIDs, guid)
+	}
+	sort.Slice(swGUIDs, func(i, j int) bool { return swGUIDs[i] < swGUIDs[j] })
 	m := -1
-	for _, sw := range g.Switches {
+	for _, guid := range swGUIDs {
+		sw := g.Switches[guid]
 		if m == -1 {
 			m = sw.NumPorts
 		}

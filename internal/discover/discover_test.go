@@ -1,6 +1,7 @@
 package discover
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -140,9 +141,14 @@ corrupted:
 
 	// Extra CA on the same leaf port (duplicate attachment).
 	g, _ = explore(t, tr, 0)
+	caGUIDs := make([]uint64, 0, len(g.CAs))
+	for guid := range g.CAs {
+		caGUIDs = append(caGUIDs, guid)
+	}
+	sort.Slice(caGUIDs, func(i, j int) bool { return caGUIDs[i] < caGUIDs[j] })
 	var anyCA *CA
-	for _, ca := range g.CAs {
-		if ca.Path != nil {
+	for _, guid := range caGUIDs {
+		if ca := g.CAs[guid]; ca.Path != nil {
 			anyCA = ca
 			break
 		}

@@ -1,0 +1,36 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFigureRunDeterministic runs the same replicated figure twice and
+// requires identical curves. The regression this guards: replica results
+// used to be appended in goroutine-completion order, so meanPoint averaged
+// floats in a scheduling-dependent order and figures could differ in the
+// last bits between runs.
+func TestFigureRunDeterministic(t *testing.T) {
+	spec := FigureSpec{
+		ID:        "DT",
+		Network:   Network{4, 2},
+		Pattern:   "uniform",
+		Loads:     []float64{0.3},
+		VLs:       []int{1},
+		WarmupNs:  10_000,
+		MeasureNs: 30_000,
+		Replicas:  3,
+		Seed:      42,
+	}
+	a, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("figure differs across runs:\n%s\nvs\n%s", a.CSV(), b.CSV())
+	}
+}

@@ -161,7 +161,11 @@ func (f FigureSpec) Run() (Figure, error) {
 	}
 	var jobs []job
 	var curves []stats.Curve
-	acc := make(map[[2]int][]stats.Point) // (curve, point) -> replica results
+	// (curve, point) -> per-replica results. Slots are preallocated and each
+	// worker stores at its job's replica index, so the slice order — and
+	// therefore meanPoint's float accumulation order — does not depend on
+	// goroutine completion order.
+	acc := make(map[[2]int][]stats.Point)
 	var accMu sync.Mutex
 	for _, scheme := range []core.Scheme{core.NewSLID(), core.NewMLID()} {
 		sn, err := (&ib.SubnetManager{Tree: tree, Engine: scheme}).Configure()
@@ -175,6 +179,7 @@ func (f FigureSpec) Run() (Figure, error) {
 				Points: make([]stats.Point, len(f.Loads)),
 			})
 			for pi, load := range f.Loads {
+				acc[[2]int{ci, pi}] = make([]stats.Point, replicas)
 				for r := 0; r < replicas; r++ {
 					jobs = append(jobs, job{curve: ci, point: pi, replica: r, cfg: sim.Config{
 						Subnet:      sn,
@@ -218,8 +223,7 @@ func (f FigureSpec) Run() (Figure, error) {
 					Saturated:     res.Saturated,
 				}
 				accMu.Lock()
-				key := [2]int{j.curve, j.point}
-				acc[key] = append(acc[key], p)
+				acc[[2]int{j.curve, j.point}][j.replica] = p
 				accMu.Unlock()
 			}
 		}()

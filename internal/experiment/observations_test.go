@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -11,11 +12,16 @@ import (
 // label (low-load latency = the first point's latency).
 func synthFigure(id string, nw Network, pattern string, peaks map[string]float64, lowLat map[string]float64) Figure {
 	spec := FigureSpec{ID: id, Network: nw, Pattern: pattern, VLs: []int{1, 2, 4}, Loads: []float64{0.1, 0.8}}
+	labels := make([]string, 0, len(peaks))
+	for label := range peaks {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
 	var curves []stats.Curve
-	for label, pk := range peaks {
+	for _, label := range labels {
 		curves = append(curves, stats.Curve{Label: label, Points: []stats.Point{
 			{OfferedLoad: 0.1, Accepted: 0.02, MeanLatencyNs: lowLat[label]},
-			{OfferedLoad: 0.8, Accepted: pk, MeanLatencyNs: 50000},
+			{OfferedLoad: 0.8, Accepted: peaks[label], MeanLatencyNs: 50000},
 		}})
 	}
 	return Figure{Spec: spec, Curves: curves}

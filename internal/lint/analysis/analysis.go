@@ -1,0 +1,87 @@
+// Package analysis defines the analyzer model for ibvet, the repository's
+// static-analysis suite. It deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis — an Analyzer owns a name, a doc string and
+// a Run function over a Pass — so each checker reads like a standard vet
+// pass and could be ported to the real framework verbatim. The build runs
+// hermetically offline, so the framework itself is reimplemented on the
+// standard library (go/ast, go/types) instead of importing x/tools.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//lint:ignore <name> <reason>" suppression directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the analyzer to a package and reports findings via
+	// pass.Report / pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass is the interface between one analyzer and one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	// Path is the package's import path as the build system knows it
+	// (testdata packages use their directory name).
+	Path string
+	Fset *token.FileSet
+	// Files holds the parsed syntax trees, comments included.
+	Files []*ast.File
+	Pkg   *types.Package
+	// TypesInfo records type and object resolution for every expression
+	// and identifier in Files.
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Analyzer names the originating check (filled by Report).
+	Analyzer string
+}
+
+// Report records a diagnostic against the pass.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.diagnostics = append(p.diagnostics, d)
+}
+
+// Reportf records a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostics returns the findings recorded so far, in report order.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diagnostics }
+
+// ObjectOf resolves an identifier to its types.Object, consulting both uses
+// and defs (the common lookup every analyzer needs).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.TypesInfo.Defs[id]
+}
+
+// PkgNameOf reports the imported package an identifier refers to, or nil:
+// the qualifier test behind "is this call time.Now or a method on a local
+// variable that happens to be named time".
+func (p *Pass) PkgNameOf(e ast.Expr) *types.PkgName {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := p.TypesInfo.Uses[id].(*types.PkgName)
+	return pn
+}

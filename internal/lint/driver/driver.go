@@ -1,0 +1,119 @@
+// Package driver runs a set of analyzers over loaded packages, applies
+// "//lint:ignore" suppression directives, and renders the surviving
+// diagnostics in the familiar vet format. It is the multichecker half of
+// ibvet (cmd/ibvet owns flags and process exit).
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+
+	"mlid/internal/lint/analysis"
+	"mlid/internal/lint/load"
+)
+
+// ignoreDirective is one parsed "//lint:ignore <analyzers> <reason>"
+// comment. It suppresses diagnostics of the named analyzers (comma- or
+// space-separated, "*" for all) on its own line and on the line below —
+// the same placement staticcheck accepts.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers []string
+	hasReason bool
+}
+
+func (d ignoreDirective) matches(file string, line int, analyzer string) bool {
+	if d.file != file || (line != d.line && line != d.line+1) {
+		return false
+	}
+	for _, a := range d.analyzers {
+		if a == "*" || a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// parseIgnores extracts the suppression directives of one file.
+func parseIgnores(fset *token.FileSet, f *ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) == 0 {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			out = append(out, ignoreDirective{
+				file:      pos.Filename,
+				line:      pos.Line,
+				analyzers: strings.Split(fields[0], ","),
+				hasReason: len(fields) > 1,
+			})
+		}
+	}
+	return out
+}
+
+// Run applies every analyzer to every package and writes surviving
+// diagnostics to w. It returns the number of diagnostics printed; a non-nil
+// error means a package failed to run, not that findings exist.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer, w io.Writer) (int, error) {
+	type located struct {
+		pos token.Position
+		d   analysis.Diagnostic
+	}
+	var all []located
+	for _, pkg := range pkgs {
+		var ignores []ignoreDirective
+		for _, f := range pkg.Files {
+			ignores = append(ignores, parseIgnores(pkg.Fset, f)...)
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Path:      pkg.ImportPath,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				return 0, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		diags:
+			for _, d := range pass.Diagnostics() {
+				pos := pkg.Fset.Position(d.Pos)
+				for _, ig := range ignores {
+					if ig.matches(pos.Filename, pos.Line, d.Analyzer) && ig.hasReason {
+						continue diags
+					}
+				}
+				all = append(all, located{pos: pos, d: d})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].pos, all[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return all[i].d.Analyzer < all[j].d.Analyzer
+	})
+	for _, l := range all {
+		fmt.Fprintf(w, "%s: %s (%s)\n", l.pos, l.d.Message, l.d.Analyzer)
+	}
+	return len(all), nil
+}

@@ -1,0 +1,92 @@
+// Package goldendrift keeps golden-fixture tests regenerable: any test file
+// that compares against a pinned fixture (a string literal naming
+// golden_results.txt, or any testdata/golden* path) must belong to a test
+// package that also registers a fixture-regeneration flag — the
+// `var update = flag.Bool("update", ...)` convention. Without the flag, a
+// legitimate behavior change turns the golden diff into a dead end: the
+// fixture can only be rebuilt by hand, and stale-golden failures give the
+// next engineer no hint how to proceed.
+package goldendrift
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"mlid/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goldendrift",
+	Doc:  "require golden-fixture tests to register a regeneration flag",
+	Run:  run,
+}
+
+// isGoldenLiteral reports whether a string literal names a golden fixture.
+func isGoldenLiteral(s string) bool {
+	return strings.Contains(s, "golden_results.txt") ||
+		strings.Contains(s, "testdata/golden")
+}
+
+// registersUpdateFlag reports whether the file declares a flag whose name
+// mentions "update" (flag.Bool("update", ...) or similar).
+func registersUpdateFlag(pass *analysis.Pass, f *ast.File) bool {
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pn := pass.PkgNameOf(sel.X)
+		if pn == nil || pn.Imported().Path() != "flag" {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok {
+			return true
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err == nil && strings.Contains(strings.ToLower(name), "update") {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func run(pass *analysis.Pass) error {
+	// The flag may live in any file of the test package (determinism_test.go
+	// registers it once for every golden consumer in the package).
+	flagRegistered := false
+	for _, f := range pass.Files {
+		if registersUpdateFlag(pass, f) {
+			flagRegistered = true
+			break
+		}
+	}
+	if flagRegistered {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if !strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil || !isGoldenLiteral(s) {
+				return true
+			}
+			pass.Reportf(lit.Pos(), "test compares against golden fixture %s but the package registers no regeneration flag: add `var update = flag.Bool(\"update\", false, ...)` and rewrite the fixture when it is set", s)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package goldendrift
+
+import (
+	"testing"
+
+	"mlid/internal/lint/linttest"
+)
+
+// TestMissingFlag is the positive case: golden comparison, no update flag.
+func TestMissingFlag(t *testing.T) {
+	linttest.Run(t, Analyzer, "missingflag")
+}
+
+// TestWithFlag is the negative case: the package registers the flag, so the
+// same comparison is fine.
+func TestWithFlag(t *testing.T) {
+	linttest.Run(t, Analyzer, "withflag")
+}

@@ -1,0 +1,20 @@
+// Package missingflag is the goldendrift positive fixture: a golden
+// comparison with no way to regenerate the fixture.
+package missingflag
+
+import (
+	"os"
+	"testing"
+)
+
+func TestGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_results.txt") // want `no regeneration flag`
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run(); got != string(want) {
+		t.Fatalf("golden mismatch:\n%s", got)
+	}
+}
+
+func run() string { return "results" }

@@ -1,0 +1,30 @@
+// Package withflag is the goldendrift negative fixture: the same golden
+// comparison, regenerable via -update.
+package withflag
+
+import (
+	"flag"
+	"os"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata golden fixtures")
+
+func TestGolden(t *testing.T) {
+	const golden = "testdata/golden_results.txt"
+	got := run()
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("golden mismatch (rerun with -update to regenerate):\n%s", got)
+	}
+}
+
+func run() string { return "results" }

@@ -1,0 +1,147 @@
+// Package linttest is the repository's analysistest: it runs one analyzer
+// over a testdata package and checks its diagnostics against "// want"
+// comments in the sources. The conventions match
+// golang.org/x/tools/go/analysis/analysistest so the testdata files would
+// work unchanged under the real harness:
+//
+//	m = rand.Intn(9) // want `global math/rand`
+//
+// Each quoted fragment after "want" is a regular expression that must match
+// the message of a diagnostic reported on that line; lines without a want
+// comment must produce no diagnostics.
+package linttest
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mlid/internal/lint/analysis"
+	"mlid/internal/lint/load"
+)
+
+// expectation is one "// want" fragment: a message pattern expected on a
+// specific file line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	met     bool
+}
+
+// wantRe matches the comment tail; fragments are Go string literals
+// (backquoted or double-quoted), scanned with strconv.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants reads the expectations of one source file.
+func parseWants(t *testing.T, file string) []*expectation {
+	t.Helper()
+	f, err := os.Open(file)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	defer f.Close()
+	var out []*expectation
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		m := wantRe.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		rest := strings.TrimSpace(m[1])
+		for rest != "" {
+			lit, tail, ok := cutLiteral(rest)
+			if !ok {
+				t.Fatalf("linttest: %s:%d: malformed want comment %q", file, line, m[1])
+			}
+			pat, err := regexp.Compile(lit)
+			if err != nil {
+				t.Fatalf("linttest: %s:%d: bad pattern %q: %v", file, line, lit, err)
+			}
+			out = append(out, &expectation{file: file, line: line, pattern: pat})
+			rest = strings.TrimSpace(tail)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("linttest: reading %s: %v", file, err)
+	}
+	return out
+}
+
+// cutLiteral splits one leading quoted string off s.
+func cutLiteral(s string) (lit, rest string, ok bool) {
+	if s == "" {
+		return "", "", false
+	}
+	switch s[0] {
+	case '`':
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", false
+		}
+		return s[1 : 1+end], s[2+end:], true
+	case '"':
+		// Walk to the closing unescaped quote, then unquote.
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				u, err := strconv.Unquote(s[:i+1])
+				if err != nil {
+					return "", "", false
+				}
+				return u, s[i+1:], true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// Run loads testdata/src/<pkg> relative to the caller's package directory,
+// applies the analyzer, and fails the test on any mismatch between reported
+// diagnostics and the "// want" expectations.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	p, err := load.Dir(dir)
+	if err != nil {
+		t.Fatalf("linttest: loading %s: %v", dir, err)
+	}
+	var wants []*expectation
+	for _, fn := range p.FileNames {
+		wants = append(wants, parseWants(t, fn)...)
+	}
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Path:      p.ImportPath,
+		Fset:      p.Fset,
+		Files:     p.Files,
+		Pkg:       p.Types,
+		TypesInfo: p.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("linttest: running %s: %v", a.Name, err)
+	}
+diags:
+	for _, d := range pass.Diagnostics() {
+		pos := p.Fset.Position(d.Pos)
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(d.Message) {
+				w.met = true
+				continue diags
+			}
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}

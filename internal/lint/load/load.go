@@ -1,0 +1,286 @@
+// Package load turns package patterns ("./...") into parsed, type-checked
+// packages for the ibvet analyzers. It is the offline counterpart of
+// golang.org/x/tools/go/packages: the go command enumerates the build list
+// and compiles export data ("go list -export"), and the target packages
+// themselves are re-parsed from source so analyzers see full syntax trees
+// with comments. Dependencies are never parsed — their types come from the
+// compiler's export data, which keeps a whole-tree run fast.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked analysis unit. A package with in-package test
+// files is loaded as its augmented ("foo + foo_test.go") form; external test
+// files ("package foo_test") form a second unit of their own.
+type Package struct {
+	// ImportPath is the unit's import path; external test units carry the
+	// "_test" suffix the go tool prints for them.
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	// FileNames holds the absolute path of each entry in Files.
+	FileNames []string
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Export       string
+	ForTest      string
+	Error        *struct{ Err string }
+}
+
+// goList runs the go command and decodes its JSON package stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportMap builds import path -> export data file for the full dependency
+// closure (test imports included) of the patterns. The second map collects
+// the test-variant compilations the go tool produces for external test
+// packages: testVariants["p"]["q"] is the export of q recompiled against p's
+// test-augmented form ("q [p.test]"), which is how an import of q from
+// p_test must resolve for type identity to hold.
+func exportMap(dir string, patterns []string) (map[string]string, map[string]map[string]string, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-test", "-json"}, patterns...)
+	pkgs, err := goList(dir, args...)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := make(map[string]string, len(pkgs))
+	variants := make(map[string]map[string]string)
+	for _, p := range pkgs {
+		if p.Export == "" {
+			continue
+		}
+		if p.ForTest != "" {
+			plain, _, _ := strings.Cut(p.ImportPath, " [")
+			if variants[p.ForTest] == nil {
+				variants[p.ForTest] = make(map[string]string)
+			}
+			variants[p.ForTest][plain] = p.Export
+			continue
+		}
+		if strings.Contains(p.ImportPath, " [") || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		m[p.ImportPath] = p.Export
+	}
+	return m, variants, nil
+}
+
+// exportImporter resolves imports from compiled export data.
+type exportImporter struct {
+	base types.ImporterFrom
+}
+
+// newBaseImporter builds the export-data importer. One instance must be
+// shared across every unit of a load: the gc importer caches packages per
+// instance, and sharing the cache is what makes *topology.Tree seen through
+// export data the identical types.Package everywhere.
+func newBaseImporter(fset *token.FileSet, exports map[string]string) types.ImporterFrom {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+}
+
+func (i exportImporter) Import(path string) (*types.Package, error) {
+	return i.ImportFrom(path, "", 0)
+}
+
+func (i exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return i.base.ImportFrom(path, dir, 0)
+}
+
+// newInfo allocates the resolution maps analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// TypeCheck parses the named files and type-checks them as one package.
+func TypeCheck(fset *token.FileSet, path, name string, fileNames []string, imp types.Importer) (*Package, error) {
+	pkg := &Package{ImportPath: path, Fset: fset, Info: newInfo()}
+	for _, fn := range fileNames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", fn, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.FileNames = append(pkg.FileNames, fn)
+	}
+	var typeErrs []error
+	cfg := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := cfg.Check(path, fset, pkg.Files, pkg.Info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", path, typeErrs[0])
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// Packages loads every package matching the patterns (main, library and test
+// files alike) from the module rooted at or above dir.
+func Packages(dir string, patterns []string) ([]*Package, error) {
+	targets, err := goList(dir, append([]string{"list", "-json"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports, variants, err := exportMap(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	base := newBaseImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", t.ImportPath, t.Error.Err)
+		}
+		abs := func(names []string) []string {
+			var fs []string
+			for _, n := range names {
+				fs = append(fs, filepath.Join(t.Dir, n))
+			}
+			return fs
+		}
+		// Unit 1: the package itself, augmented with in-package test files.
+		files := append(abs(t.GoFiles), abs(t.CgoFiles)...)
+		files = append(files, abs(t.TestGoFiles)...)
+		sort.Strings(files)
+		pkg, err := TypeCheck(fset, t.ImportPath, t.Name, files, exportImporter{base: base})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+		// Unit 2: the external test package. Its imports must resolve
+		// through the test-variant export data ("q [p.test]") so that the
+		// package under test carries its in-package test declarations and
+		// every dependency agrees on one identity for it. The variant world
+		// is disjoint from the plain one, so this unit gets a fresh
+		// importer cache seeded with the overlaid export map.
+		if len(t.XTestGoFiles) > 0 {
+			xexports := make(map[string]string, len(exports)+len(variants[t.ImportPath]))
+			for k, v := range exports {
+				xexports[k] = v
+			}
+			for k, v := range variants[t.ImportPath] {
+				xexports[k] = v
+			}
+			xfiles := abs(t.XTestGoFiles)
+			sort.Strings(xfiles)
+			xpkg, err := TypeCheck(fset, t.ImportPath+"_test", t.Name+"_test", xfiles, exportImporter{base: newBaseImporter(fset, xexports)})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, xpkg)
+		}
+	}
+	return out, nil
+}
+
+// Dir loads the single package found in dir (used by the linttest harness on
+// testdata packages, which the go tool itself refuses to enumerate). The
+// package's import path is taken from the directory base name, and its
+// imports are resolved from compiled export data of the closure reported by
+// the go command.
+func Dir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(files)
+	fset := token.NewFileSet()
+	// A pre-parse pass collects the imports whose export data is needed.
+	importSet := map[string]bool{}
+	for _, fn := range files {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range f.Imports {
+			importSet[strings.Trim(spec.Path.Value, `"`)] = true
+		}
+	}
+	var paths []string
+	for p := range importSet {
+		if p != "unsafe" {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	exports := map[string]string{}
+	if len(paths) > 0 {
+		exports, _, err = exportMap(dir, paths)
+		if err != nil {
+			return nil, err
+		}
+	}
+	imp := exportImporter{base: newBaseImporter(fset, exports)}
+	return TypeCheck(fset, filepath.Base(dir), filepath.Base(dir), files, imp)
+}

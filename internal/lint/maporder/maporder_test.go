@@ -1,0 +1,11 @@
+package maporder
+
+import (
+	"testing"
+
+	"mlid/internal/lint/linttest"
+)
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, Analyzer, "maporder")
+}

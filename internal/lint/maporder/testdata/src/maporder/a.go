@@ -1,0 +1,114 @@
+// Package maporder is the maporder testdata fixture: ordered effects inside
+// range-over-map loops must be flagged; sorted-key idioms and
+// order-independent bodies must not.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+type engine struct {
+	events []int
+}
+
+func (e *engine) schedule(t int) { e.events = append(e.events, t) }
+
+// badSchedule schedules events in map iteration order.
+func badSchedule(e *engine, deadlines map[string]int) {
+	for _, t := range deadlines {
+		e.schedule(t) // want `call to e\.schedule inside range over map`
+	}
+}
+
+// goodSchedule collects and sorts the keys first — the sanctioned idiom.
+func goodSchedule(e *engine, deadlines map[string]int) {
+	keys := make([]string, 0, len(deadlines))
+	for k := range deadlines {
+		keys = append(keys, k) // collect-then-sort: not flagged
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.schedule(deadlines[k])
+	}
+}
+
+// badCollect appends values that are never sorted afterwards.
+func badCollect(loads map[int]float64) []float64 {
+	var out []float64
+	for _, v := range loads {
+		out = append(out, v) // want `append to out inside range over map without sorting`
+	}
+	return out
+}
+
+// badReport renders a table in map iteration order.
+func badReport(loads map[string]float64) string {
+	var b strings.Builder
+	for k, v := range loads {
+		fmt.Fprintf(&b, "%s=%v\n", k, v) // want `call to fmt\.Fprintf inside range over map`
+	}
+	return b.String()
+}
+
+// badStdout prints directly to the process stream.
+func badStdout(loads map[string]float64) {
+	for k := range loads {
+		fmt.Println(k) // want `call to fmt\.Println inside range over map`
+	}
+}
+
+// badFloatSum accumulates floats in map order (non-associative).
+func badFloatSum(loads map[string]float64) float64 {
+	var sum float64
+	for _, v := range loads {
+		sum += v // want `floating-point accumulation into sum inside range over map`
+	}
+	return sum
+}
+
+// badTieBreak lets map order pick among tied maxima.
+func badTieBreak(loads map[string]float64) (string, float64) {
+	var maxKey string
+	var max float64
+	for k, v := range loads {
+		if v > max {
+			max, maxKey = v, k // want `assignment to max inside range over map`
+		}
+	}
+	return maxKey, max
+}
+
+// badSend forwards entries through a channel in map order.
+func badSend(loads map[string]float64, out chan float64) {
+	for _, v := range loads {
+		out <- v // want `channel send inside range over map`
+	}
+}
+
+// goodIndexedWrites stores into distinct keyed slots: order-independent.
+func goodIndexedWrites(src map[int]float64, dst []float64, mirror map[int]float64) {
+	for k, v := range src {
+		dst[k] = v     // keyed slot: not flagged
+		mirror[k] = v  // map write: not flagged
+	}
+}
+
+// goodIntSum accumulates integers: exact and commutative.
+func goodIntSum(hist map[string]int) int {
+	total := 0
+	for _, n := range hist {
+		total += n // integer accumulation: not flagged
+	}
+	return total
+}
+
+// goodLocalBuilder builds a per-entry string stored by key.
+func goodLocalBuilder(src map[int]string, dst map[int]string) {
+	for k, v := range src {
+		var b strings.Builder
+		b.WriteString(v) // loop-local sink: not flagged
+		dst[k] = b.String()
+	}
+}

@@ -1,0 +1,293 @@
+// Package pktpool enforces the packet-pool lifetime invariant: once a *pkt
+// is handed to the pool release function (freePkt and friends), no later
+// statement in the same block may read it, write through it, or store it —
+// the pool may already have recycled and re-zeroed the object for another
+// packet, so a late use silently corrupts an unrelated in-flight packet.
+// DESIGN.md documents the contract ("the caller guarantees no live reference
+// to p remains anywhere in the model"); this analyzer makes it mechanical.
+//
+// The check is a conservative straight-line dataflow pass per statement
+// list: after a release of p (an identifier or a field chain like ev.p),
+// every subsequent use of that chain in the same or a nested block is
+// flagged until the chain is reassigned (p = s.newPkt(), p = nil, ev = ...).
+// Releases inside a conditional branch do not poison the code after the
+// branch — the fallthrough path may legitimately still own the packet.
+package pktpool
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mlid/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "pktpool",
+	Doc:  "flag uses of a pooled *pkt after it is passed to the pool release function",
+	Run:  run,
+}
+
+// releaseNames are the pool release entry points.
+var releaseNames = map[string]bool{"freePkt": true, "releasePkt": true, "putPkt": true}
+
+// chain is a released lvalue: a root object plus a field path ("" for a bare
+// identifier, "p" for ev.p).
+type chain struct {
+	root types.Object
+	path string
+}
+
+// chainOf decomposes an expression into a root-object field chain.
+func chainOf(pass *analysis.Pass, e ast.Expr) (chain, bool) {
+	var fields []string
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := pass.ObjectOf(x)
+			if obj == nil {
+				return chain{}, false
+			}
+			return chain{root: obj, path: strings.Join(fields, ".")}, true
+		case *ast.SelectorExpr:
+			fields = append([]string{x.Sel.Name}, fields...)
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return chain{}, false
+		}
+	}
+}
+
+// extendsOrEquals reports whether use names the released chain itself or
+// something reached through it (use "ev.p.dst" vs released "ev.p").
+func extendsOrEquals(use, released chain) bool {
+	if use.root != released.root {
+		return false
+	}
+	return use.path == released.path ||
+		strings.HasPrefix(use.path, released.path+".") ||
+		released.path == "" && use.path != ""
+}
+
+// prefixOfReleased reports whether an assignment to lhs re-seats the
+// released chain (assigning p or ev kills a release of ev.p).
+func prefixOfReleased(lhs, released chain) bool {
+	if lhs.root != released.root {
+		return false
+	}
+	return lhs.path == released.path ||
+		strings.HasPrefix(released.path, lhs.path+".") ||
+		lhs.path == ""
+}
+
+// isPktPointer reports whether t is a *T with T's name ending in "pkt"
+// (pkt, upPkt, ...): the pooled packet convention.
+func isPktPointer(t types.Type) bool {
+	p, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	name := strings.ToLower(n.Obj().Name())
+	return name == "pkt" || strings.HasSuffix(name, "pkt")
+}
+
+// releaseArg returns the released chain if call is a pool release of a *pkt.
+func releaseArg(pass *analysis.Pass, call *ast.CallExpr) (chain, bool) {
+	var name string
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		name = fn.Name
+	case *ast.SelectorExpr:
+		name = fn.Sel.Name
+	default:
+		return chain{}, false
+	}
+	if !releaseNames[name] || len(call.Args) != 1 {
+		return chain{}, false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || !isPktPointer(tv.Type) {
+		return chain{}, false
+	}
+	return chainOf(pass, call.Args[0])
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBlock(pass, fn.Body.List, nil)
+				}
+				return false
+			case *ast.FuncLit:
+				checkBlock(pass, fn.Body.List, nil)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlock scans one statement list in order. released carries the chains
+// freed by *earlier statements of enclosing lists*; frees inside this list
+// extend a local copy so they only poison later statements of this list and
+// blocks nested under them.
+func checkBlock(pass *analysis.Pass, stmts []ast.Stmt, released []chain) {
+	rel := append([]chain(nil), released...)
+	for _, stmt := range stmts {
+		// 1. Uses of already-released chains in this statement. An
+		// assignment needs care: its right side and indexed left sides are
+		// reads, but a plain left side re-seats the chain (p = s.newPkt())
+		// and must kill the release, not trip it — while a write *through*
+		// the released pointer (p.dst = x) is still a violation.
+		if as, ok := stmt.(*ast.AssignStmt); ok {
+			for _, rhs := range as.Rhs {
+				reportUses(pass, rhs, rel)
+			}
+			for _, lhs := range as.Lhs {
+				c, ok := chainOf(pass, lhs)
+				if !ok {
+					reportUses(pass, lhs, rel) // arr[p.id] = ... reads p
+					continue
+				}
+				for _, r := range rel {
+					if extendsOrEquals(c, r) && !prefixOfReleased(c, r) {
+						pass.Reportf(lhs.Pos(), "store through %s after it was released to the packet pool: the pool may already have recycled it", displayChain(r))
+					}
+				}
+				rel = filterKilled(rel, c)
+			}
+		} else if len(rel) > 0 {
+			reportUses(pass, stmt, rel)
+		}
+		// 2. New releases performed directly by this statement (not inside
+		// a nested block, whose flow is handled by the recursion below).
+		for _, c := range directReleases(pass, stmt) {
+			rel = append(rel, c)
+		}
+		// 3. Nested blocks inherit the current released set.
+		for _, body := range nestedBlocks(stmt) {
+			checkBlock(pass, body, rel)
+		}
+	}
+}
+
+// filterKilled drops released chains re-seated by an assignment to lhs.
+func filterKilled(rel []chain, lhs chain) []chain {
+	out := rel[:0]
+	for _, c := range rel {
+		if !prefixOfReleased(lhs, c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// directReleases finds release calls in stmt that are not nested under an
+// inner block (those are found by the recursive walk).
+func directReleases(pass *analysis.Pass, stmt ast.Stmt) []chain {
+	var out []chain
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.BlockStmt, *ast.FuncLit, *ast.CaseClause, *ast.CommClause:
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if c, ok := releaseArg(pass, call); ok {
+				out = append(out, c)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// nestedBlocks lists the statement lists directly under stmt.
+func nestedBlocks(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		if s.Else != nil {
+			if b, ok := s.Else.(*ast.BlockStmt); ok {
+				out = append(out, b.List)
+			} else {
+				out = append(out, []ast.Stmt{s.Else})
+			}
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, []ast.Stmt{s.Stmt})
+	}
+	return out
+}
+
+// reportUses flags reads of released chains within node, skipping the
+// release calls themselves and skipping nested blocks (handled recursively
+// with their own inherited set).
+func reportUses(pass *analysis.Pass, node ast.Node, rel []chain) {
+	if len(rel) == 0 {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.BlockStmt, *ast.FuncLit, *ast.CaseClause, *ast.CommClause:
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		c, ok := chainOf(pass, e)
+		if !ok {
+			return true
+		}
+		for _, r := range rel {
+			if extendsOrEquals(c, r) {
+				pass.Reportf(e.Pos(), "use of %s after it was released to the packet pool: the pool may already have recycled it", displayChain(r))
+				return false
+			}
+		}
+		return false // chainOf consumed the whole selector chain
+	})
+}
+
+// displayChain renders a released chain for diagnostics.
+func displayChain(c chain) string {
+	if c.path == "" {
+		return c.root.Name()
+	}
+	return c.root.Name() + "." + c.path
+}

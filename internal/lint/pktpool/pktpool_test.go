@@ -1,0 +1,11 @@
+package pktpool
+
+import (
+	"testing"
+
+	"mlid/internal/lint/linttest"
+)
+
+func TestPktPool(t *testing.T) {
+	linttest.Run(t, Analyzer, "pool")
+}

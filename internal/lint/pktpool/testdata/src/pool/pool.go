@@ -1,0 +1,97 @@
+// Package pool is the pktpool testdata fixture: uses of a *pkt after the
+// pool release call must be flagged; pre-release uses, re-seated variables
+// and branch-local releases must not.
+package pool
+
+type pkt struct {
+	src, dst int
+	payload  []byte
+}
+
+type event struct {
+	p *pkt
+	t int64
+}
+
+type sim struct {
+	free  []*pkt
+	stats map[int]int
+}
+
+func (s *sim) freePkt(p *pkt) { s.free = append(s.free, p) }
+
+func (s *sim) newPkt() *pkt {
+	if n := len(s.free); n > 0 {
+		p := s.free[n-1]
+		s.free = s.free[:n-1]
+		*p = pkt{}
+		return p
+	}
+	return new(pkt)
+}
+
+// badReadAfterRelease reads fields after the release.
+func (s *sim) badReadAfterRelease(p *pkt) int {
+	s.freePkt(p)
+	return p.dst // want `use of p after it was released to the packet pool`
+}
+
+// badStoreThrough writes through the released pointer.
+func (s *sim) badStoreThrough(p *pkt) {
+	s.freePkt(p)
+	p.src = 1 // want `store through p after it was released to the packet pool`
+}
+
+// badEscape stores the released pointer into longer-lived state.
+func (s *sim) badEscape(p *pkt, slots []*pkt) {
+	s.freePkt(p)
+	slots[0] = p // want `use of p after it was released to the packet pool`
+}
+
+// badSelectorChain releases through a field chain and reuses it.
+func (s *sim) badSelectorChain(ev event) {
+	s.freePkt(ev.p)
+	s.stats[ev.p.dst]++ // want `use of ev\.p after it was released to the packet pool`
+}
+
+// badDoubleFree releases twice.
+func (s *sim) badDoubleFree(p *pkt) {
+	s.freePkt(p)
+	s.freePkt(p) // want `use of p after it was released to the packet pool`
+}
+
+// goodUseBeforeRelease is the sanctioned shape: finish with the packet,
+// then release it last.
+func (s *sim) goodUseBeforeRelease(p *pkt) int {
+	d := p.dst
+	s.deliver(p)
+	s.freePkt(p)
+	return d
+}
+
+// goodReseat reuses the variable only after re-seating it.
+func (s *sim) goodReseat(p *pkt) *pkt {
+	s.freePkt(p)
+	p = s.newPkt()
+	p.src = 2
+	return p
+}
+
+// goodFieldReseat re-seating the event kills the chain release.
+func (s *sim) goodFieldReseat(ev event) int {
+	s.freePkt(ev.p)
+	ev.p = s.newPkt()
+	return ev.p.dst
+}
+
+// goodBranchLocalRelease releases on an early-exit path only; the
+// fallthrough still owns the packet.
+func (s *sim) goodBranchLocalRelease(p *pkt, drop bool) int {
+	if drop {
+		s.freePkt(p)
+		return 0
+	}
+	return p.dst
+}
+
+func (s *sim) deliver(p *pkt) {}

@@ -1,0 +1,105 @@
+// Package simdeterminism flags sources of runtime nondeterminism inside the
+// simulator's deterministic core (internal/sim, internal/sm, internal/core).
+// The golden fixtures pin results bit-for-bit for a given configuration and
+// seed; that contract holds only while simulator code takes no entropy from
+// outside the configuration. The analyzer rejects:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until) — simulated time
+//     is sim.Time, derived from the event clock;
+//   - the global math/rand generators (rand.Intn, rand.Float64, ...) —
+//     randomness must flow from the run's seeded *rand.Rand;
+//   - process-environment entropy (os.Getpid, os.Getenv, os.Hostname, ...)
+//     and crypto/rand;
+//   - select statements with two or more channel cases: when several cases
+//     are ready the runtime picks one uniformly at random.
+//
+// Test files are exempt — the invariant protects the hot path, and tests
+// legitimately time themselves.
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mlid/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "simdeterminism",
+	Doc:  "forbid wall-clock, global-rand and environment entropy in simulator core packages",
+	Run:  run,
+}
+
+// corePackages are the import-path leaf names the invariant covers.
+var corePackages = map[string]bool{"sim": true, "sm": true, "core": true}
+
+// timeFuncs are the wall-clock reads; everything else in package time
+// (constants, Duration arithmetic, parsing) is deterministic.
+var timeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// osFuncs read process-environment entropy.
+var osFuncs = map[string]bool{
+	"Getpid": true, "Getppid": true, "Getenv": true, "LookupEnv": true,
+	"Environ": true, "Hostname": true,
+}
+
+func run(pass *analysis.Pass) error {
+	leaf := pass.Path
+	if i := strings.LastIndexByte(leaf, '/'); i >= 0 {
+		leaf = leaf[i+1:]
+	}
+	if !corePackages[strings.TrimSuffix(leaf, "_test")] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				pn := pass.PkgNameOf(n.X)
+				if pn == nil {
+					return true
+				}
+				// Only function references carry entropy; type names
+				// (rand.Rand) and constants (time.Millisecond) are inert.
+				if _, isFunc := pass.ObjectOf(n.Sel).(*types.Func); !isFunc {
+					return true
+				}
+				name := n.Sel.Name
+				switch pn.Imported().Path() {
+				case "time":
+					if timeFuncs[name] {
+						pass.Reportf(n.Pos(), "call to time.%s in simulator code: derive timing from the event clock (sim.Time), not the wall clock", name)
+					}
+				case "math/rand", "math/rand/v2":
+					// Constructors are fine: rand.New(rand.NewSource(seed))
+					// is exactly how runs get their seeded generator.
+					if !strings.HasPrefix(name, "New") {
+						pass.Reportf(n.Pos(), "global math/rand %s in simulator code: draw from the run's seeded *rand.Rand instead", name)
+					}
+				case "crypto/rand":
+					pass.Reportf(n.Pos(), "crypto/rand %s in simulator code: results must be reproducible from the configuration seed", name)
+				case "os":
+					if osFuncs[name] {
+						pass.Reportf(n.Pos(), "os.%s in simulator code: process-environment entropy breaks run reproducibility", name)
+					}
+				}
+			case *ast.SelectStmt:
+				comm := 0
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+						comm++
+					}
+				}
+				if comm >= 2 {
+					pass.Reportf(n.Pos(), "select with %d channel cases: the runtime chooses among ready cases at random, which breaks event-order determinism", comm)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package simdeterminism
+
+import (
+	"testing"
+
+	"mlid/internal/lint/linttest"
+)
+
+func TestSimDeterminism(t *testing.T) {
+	linttest.Run(t, Analyzer, "sim")
+}
+
+// TestOutsideCorePackages proves the analyzer is scoped: the same entropy
+// sources are legal in packages outside internal/{sim,sm,core}.
+func TestOutsideCorePackages(t *testing.T) {
+	linttest.Run(t, Analyzer, "tools")
+}

@@ -1,0 +1,17 @@
+// Package tools is a simdeterminism negative fixture: its leaf name is not
+// a simulator core package, so wall-clock and global-rand reads are fine
+// (CLI tools time themselves and shuffle legitimately).
+package tools
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(1000)) * time.Millisecond
+}

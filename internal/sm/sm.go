@@ -21,11 +21,37 @@ package sm
 
 import (
 	"fmt"
+	"sort"
 
 	"mlid/internal/discover"
 	"mlid/internal/ib"
 	"mlid/internal/topology"
 )
+
+// sortedNodeGUIDs and sortedSwitchGUIDs fix the order every bring-up phase
+// walks the fabric in. The labeling maps are keyed by GUID, and Go
+// randomizes map iteration — fine for the resulting tables (each entry is
+// written exactly once), but the *management traffic* would then leave the
+// SM in a different order every run, which breaks SMP-trace reproducibility
+// and makes bring-up regressions undiffable. GUID order is the canonical
+// sweep order.
+func sortedNodeGUIDs(lab *discover.Labeling) []uint64 {
+	guids := make([]uint64, 0, len(lab.NodeID))
+	for guid := range lab.NodeID {
+		guids = append(guids, guid)
+	}
+	sort.Slice(guids, func(i, j int) bool { return guids[i] < guids[j] })
+	return guids
+}
+
+func sortedSwitchGUIDs(lab *discover.Labeling) []uint64 {
+	guids := make([]uint64, 0, len(lab.SwitchID))
+	for guid := range lab.SwitchID {
+		guids = append(guids, guid)
+	}
+	sort.Slice(guids, func(i, j int) bool { return guids[i] < guids[j] })
+	return guids
+}
 
 // BringupStats counts the management traffic one Configure run needed — a
 // measure of SM cost that scales with fabric size.
@@ -138,7 +164,8 @@ func (sm *MADSubnetManager) Configure() (*ib.Subnet, error) {
 	}
 
 	// Phase 3: endport addressing.
-	for guid, nodeID := range lab.NodeID {
+	for _, guid := range sortedNodeGUIDs(lab) {
+		nodeID := lab.NodeID[guid]
 		ca := graph.CAs[guid]
 		smp := &ib.SMP{Method: ib.MethodSet, Attribute: ib.AttrPortInfo, AttrMod: 1}
 		ib.PortInfo{LID: eng.BaseLID(t, nodeID), LMC: lmc, State: 4}.Encode(&smp.Data)
@@ -149,7 +176,8 @@ func (sm *MADSubnetManager) Configure() (*ib.Subnet, error) {
 
 	// Phase 4: forwarding tables, block by block.
 	blocks := (space + ib.LFTBlockSize - 1) / ib.LFTBlockSize
-	for guid, swID := range lab.SwitchID {
+	for _, guid := range sortedSwitchGUIDs(lab) {
+		swID := lab.SwitchID[guid]
 		swDesc := graph.Switches[guid]
 		// Announce the table size.
 		siSMP := &ib.SMP{Method: ib.MethodSet, Attribute: ib.AttrSwitchInfo}
@@ -191,7 +219,8 @@ func (sm *MADSubnetManager) Configure() (*ib.Subnet, error) {
 		Endports: make([]ib.LIDRange, t.Nodes()),
 		LFTs:     make([]*ib.LFT, t.Switches()),
 	}
-	for guid, nodeID := range lab.NodeID {
+	for _, guid := range sortedNodeGUIDs(lab) {
+		nodeID := lab.NodeID[guid]
 		ca := graph.CAs[guid]
 		smp := &ib.SMP{Method: ib.MethodGet, Attribute: ib.AttrPortInfo, AttrMod: 1}
 		if err := sm.send(ca.Path, smp); err != nil {
@@ -203,7 +232,8 @@ func (sm *MADSubnetManager) Configure() (*ib.Subnet, error) {
 		}
 		sn.Endports[nodeID] = ib.LIDRange{Base: pi.LID, LMC: pi.LMC}
 	}
-	for guid, swID := range lab.SwitchID {
+	for _, guid := range sortedSwitchGUIDs(lab) {
+		swID := lab.SwitchID[guid]
 		swDesc := graph.Switches[guid]
 		lft := ib.NewLFT(space)
 		for block := 0; block < blocks; block++ {
@@ -255,7 +285,8 @@ func (sm *MADSubnetManager) Reconfigure(engine ib.RoutingEngine) (sn *ib.Subnet,
 	}
 
 	// Endports: set only when the range changes.
-	for guid, nodeID := range lab.NodeID {
+	for _, guid := range sortedNodeGUIDs(lab) {
+		nodeID := lab.NodeID[guid]
 		ca := graph.CAs[guid]
 		get := &ib.SMP{Method: ib.MethodGet, Attribute: ib.AttrPortInfo, AttrMod: 1}
 		if err := sm.send(ca.Path, get); err != nil {
@@ -275,7 +306,8 @@ func (sm *MADSubnetManager) Reconfigure(engine ib.RoutingEngine) (sn *ib.Subnet,
 
 	// LFT blocks: read-compare-write.
 	blocks := (space + ib.LFTBlockSize - 1) / ib.LFTBlockSize
-	for guid, swID := range lab.SwitchID {
+	for _, guid := range sortedSwitchGUIDs(lab) {
+		swID := lab.SwitchID[guid]
 		swDesc := graph.Switches[guid]
 		siSMP := &ib.SMP{Method: ib.MethodSet, Attribute: ib.AttrSwitchInfo}
 		ib.SwitchInfo{LinearFDBTop: uint16(space - 1)}.Encode(&siSMP.Data)

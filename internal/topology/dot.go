@@ -81,23 +81,27 @@ func (t *Tree) PathDOT(src, dst NodeID, hops []struct {
 	sw, _ := t.NodeAttachment(src)
 	highlight[fmt.Sprintf("sw%d -- n%d", sw, src)] = true
 
+	// At most one edge key can prefix a given DOT line, so membership is
+	// order-independent; keeping the scan a pure predicate keeps the output
+	// writes out of the map range.
+	highlighted := func(trimmed string) bool {
+		for edge := range highlight {
+			if strings.HasPrefix(trimmed, edge+" ") {
+				return true
+			}
+		}
+		return false
+	}
+
 	base := t.DOT()
 	var out strings.Builder
 	for _, line := range strings.Split(base, "\n") {
-		trimmed := strings.TrimSpace(line)
-		marked := false
-		for edge := range highlight {
-			if strings.HasPrefix(trimmed, edge+" ") {
-				out.WriteString(strings.Replace(line, "];", ",color=red,penwidth=3];", 1))
-				out.WriteString("\n")
-				marked = true
-				break
-			}
-		}
-		if !marked {
+		if highlighted(strings.TrimSpace(line)) {
+			out.WriteString(strings.Replace(line, "];", ",color=red,penwidth=3];", 1))
+		} else {
 			out.WriteString(line)
-			out.WriteString("\n")
 		}
+		out.WriteString("\n")
 	}
 	return strings.TrimSuffix(out.String(), "\n")
 }
