@@ -24,7 +24,9 @@ lint-fix: lint
 # race runs the race detector over the packages with internal concurrency
 # (the experiment worker pool, the simulator it drives) and the packages the
 # determinism analyzers guard (sm, core), whose order-sensitive paths the
-# race pass exercises twice via the determinism regression tests.
+# race pass exercises twice via the determinism regression tests. The sim and
+# experiment suites include the fault-injection paths (link death, SM traps,
+# staged table updates, reselection) and the quick recovery study.
 race:
 	$(GO) test -race ./internal/sim/... ./internal/experiment/... ./internal/sm/... ./internal/core/...
 

@@ -7,6 +7,8 @@
 //	ibsweep -table1                 # print the network configuration table
 //	ibsweep -fig F5 -chart          # run one figure, render an ASCII chart
 //	ibsweep -fig all -quick -csv out/   # all figures (reduced), CSV per figure
+//	ibsweep -fault                  # recovery-transient study (live link failure)
+//	ibsweep -fault -quick -csv out/     # reduced study, CSV to out/recovery.csv
 //
 // Full-fidelity sweeps of the two 128-node networks take a few minutes and
 // the 512-node network longer; -quick cuts the load points and windows while
@@ -26,9 +28,10 @@ import (
 
 func main() {
 	var (
-		table1 = flag.Bool("table1", false, "print Table 1 (network configurations)")
-		fig    = flag.String("fig", "", "figure to run: F1..F8, a short name like c-16x2, or 'all'")
-		quick  = flag.Bool("quick", false, "reduced load points and windows")
+		table1  = flag.Bool("table1", false, "print Table 1 (network configurations)")
+		fig     = flag.String("fig", "", "figure to run: F1..F8, a short name like c-16x2, or 'all'")
+		fault   = flag.Bool("fault", false, "run the recovery-transient study: a live link failure mid-measurement, SLID vs MLID")
+		quick   = flag.Bool("quick", false, "reduced load points and windows")
 		chart   = flag.Bool("chart", false, "render ASCII charts to stdout")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files into")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sweeps to this file")
@@ -60,8 +63,26 @@ func main() {
 		fatal(err)
 		printTable1(rows)
 	}
+	if *fault {
+		spec := mlid.EvalRecoverySpecDefault()
+		if *quick {
+			spec = mlid.EvalRecoverySpecQuick()
+		}
+		fmt.Printf("recovery transient: %s, link down at %d ns, uniform load %.2f B/ns/node\n",
+			spec.Network, spec.FaultNs, spec.OfferedLoad)
+		rows, err := mlid.EvalRecoveryStudy(spec)
+		fatal(err)
+		fmt.Print(mlid.FormatRecovery(rows))
+		if *csvDir != "" {
+			fatal(os.MkdirAll(*csvDir, 0o755))
+			path := filepath.Join(*csvDir, "recovery.csv")
+			fatal(os.WriteFile(path, []byte(mlid.RecoveryCSV(rows)), 0o644))
+			fmt.Printf("wrote %s\n", path)
+		}
+		fmt.Println()
+	}
 	if *fig == "" {
-		if !*table1 {
+		if !*table1 && !*fault {
 			flag.Usage()
 			os.Exit(2)
 		}

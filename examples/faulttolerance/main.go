@@ -71,6 +71,44 @@ func main() {
 	}
 	fmt.Println("\nMLID's LMC multipath keeps every pair reachable; each SLID loss is a")
 	fmt.Println("pair whose single path crossed a failed link.")
+
+	// Finally, the same failure injected *live*: the link dies while packets
+	// are in flight, and the running subnet-manager model must notice, repair
+	// what it can and leave the rest to source reselection. The drop counters
+	// show the fate of RepairSubnet's broken entries — every packet a live
+	// table steers onto the dead link is counted at DroppedAtDeadLink, never
+	// silently misrouted.
+	fmt.Println("\n--- live fault injection ---")
+	leaf0, _ := tree.NodeAttachment(0)
+	plan := &mlid.FaultPlan{
+		Faults:   []mlid.LinkFault{{Switch: int32(leaf0), Port: tree.H(), DownNs: 60_000}},
+		Reselect: true,
+	}
+	for _, s := range []mlid.Scheme{mlid.SLID(), mlid.MLID()} {
+		sn, err := mlid.Configure(tree, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := mlid.Simulate(mlid.SimConfig{
+			Subnet:      sn,
+			Pattern:     mlid.UniformTraffic(tree.Nodes()),
+			OfferedLoad: 0.3,
+			WarmupNs:    30_000, MeasureNs: 120_000,
+			FaultPlan: plan,
+			Seed:      5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: recovery %d ns after failure (%d staged table updates, %d entries)\n",
+			s.Name(), res.RecoveryNs, res.LFTUpdates, res.LFTEntriesRewritten)
+		fmt.Printf("  dropped %d (at dead link: %d broken/stale-entry, on dead link: %d in-flight)\n",
+			res.DroppedTotal, res.DroppedAtDeadLink, res.DroppedOnDeadLink)
+		fmt.Printf("  broken descending entries: %d, reselection reroutes: %d, last drop at %d ns\n",
+			res.BrokenEntries, res.Reroutes, res.LastDropNs)
+	}
+	fmt.Println("\nSLID's broken entries keep dropping for the rest of the run; MLID's")
+	fmt.Println("reselection steers sources onto surviving LIDs and the drops stop.")
 }
 
 // reach counts served ordered pairs under the fault set.

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRecoveryStudyQuick runs the reduced recovery study and checks the
+// qualitative contrast the figure exists to show: MLID with reselection rides
+// through the fault (traffic recovers, no post-recovery drops), SLID keeps
+// losing packets to its irreparable descending entries.
+func TestRecoveryStudyQuick(t *testing.T) {
+	rows, err := RecoveryStudy(QuickRecoverySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("expected 2 schemes x 2 VLs = 4 rows, got %d", len(rows))
+	}
+	byKey := map[string]RecoveryRow{}
+	for _, r := range rows {
+		byKey[r.Scheme] = r // last VL wins; scheme-level properties hold for all
+		if r.DroppedWindow == 0 {
+			t.Errorf("%s %dVL: expected drops during the transient", r.Scheme, r.VLs)
+		}
+		if r.LFTUpdates == 0 {
+			t.Errorf("%s %dVL: expected SM table updates", r.Scheme, r.VLs)
+		}
+		if r.RecoveryNs <= 0 {
+			t.Errorf("%s %dVL: non-positive recovery time %d", r.Scheme, r.VLs, r.RecoveryNs)
+		}
+	}
+	mlid, slid := byKey["MLID"], byKey["SLID"]
+	if mlid.DropsAfterRecovery != 0 {
+		t.Errorf("MLID: %d drops after recovery, want 0", mlid.DropsAfterRecovery)
+	}
+	if mlid.RecoveredFrac < 0.95 {
+		t.Errorf("MLID: recovered fraction %.3f, want >= 0.95", mlid.RecoveredFrac)
+	}
+	if mlid.Reroutes == 0 {
+		t.Errorf("MLID: expected reselection reroutes")
+	}
+	if slid.DropsAfterRecovery == 0 {
+		t.Errorf("SLID: expected persistent post-recovery drops")
+	}
+
+	out := FormatRecovery(rows)
+	if !strings.Contains(out, "| MLID |") || !strings.Contains(out, "| SLID |") {
+		t.Errorf("FormatRecovery missing scheme rows:\n%s", out)
+	}
+	csv := RecoveryCSV(rows)
+	if got := strings.Count(csv, "\n"); got != len(rows)+1 {
+		t.Errorf("RecoveryCSV has %d lines, want %d", got, len(rows)+1)
+	}
+}
+
+// TestRecoveryStudyDeterminism pins the study as reproducible run-to-run.
+func TestRecoveryStudyDeterminism(t *testing.T) {
+	a, err := RecoveryStudy(QuickRecoverySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RecoveryStudy(QuickRecoverySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("recovery study not deterministic:\n a: %+v\n b: %+v", a, b)
+	}
+}

@@ -86,6 +86,15 @@ func (t *LFT) Lookup(lid LID) (uint8, error) {
 	return p, nil
 }
 
+// Clone returns an independent copy of the table. The live simulator clones
+// every switch's LFT when fault injection is configured, so timed table
+// updates never mutate the caller's subnet.
+func (t *LFT) Clone() *LFT {
+	c := &LFT{ports: make([]uint8, len(t.ports))}
+	copy(c.ports, t.ports)
+	return c
+}
+
 // Entries returns a copy of the raw table, for inspection and serialization.
 func (t *LFT) Entries() []uint8 {
 	out := make([]uint8, len(t.ports))

@@ -1,6 +1,8 @@
 // Package simdeterminism flags sources of runtime nondeterminism inside the
-// simulator's deterministic core (internal/sim, internal/sm, internal/core).
-// The golden fixtures pin results bit-for-bit for a given configuration and
+// simulator's deterministic core (internal/sim — including its fault-event
+// code — internal/sm, internal/core) and the experiment harness that drives
+// it (internal/experiment). The golden fixtures and the fault-plan
+// determinism suite pin results bit-for-bit for a given configuration and
 // seed; that contract holds only while simulator code takes no entropy from
 // outside the configuration. The analyzer rejects:
 //
@@ -31,8 +33,10 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// corePackages are the import-path leaf names the invariant covers.
-var corePackages = map[string]bool{"sim": true, "sm": true, "core": true}
+// corePackages are the import-path leaf names the invariant covers. The
+// experiment harness is included because its studies (figures, recovery
+// transients) are themselves pinned by determinism tests.
+var corePackages = map[string]bool{"sim": true, "sm": true, "core": true, "experiment": true}
 
 // timeFuncs are the wall-clock reads; everything else in package time
 // (constants, Duration arithmetic, parsing) is deterministic.

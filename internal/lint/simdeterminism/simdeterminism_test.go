@@ -10,6 +10,12 @@ func TestSimDeterminism(t *testing.T) {
 	linttest.Run(t, Analyzer, "sim")
 }
 
+// TestExperimentPackage proves the harness package is covered: studies are
+// pinned by determinism tests, so the same entropy rules apply there.
+func TestExperimentPackage(t *testing.T) {
+	linttest.Run(t, Analyzer, "experiment")
+}
+
 // TestOutsideCorePackages proves the analyzer is scoped: the same entropy
 // sources are legal in packages outside internal/{sim,sm,core}.
 func TestOutsideCorePackages(t *testing.T) {

@@ -145,6 +145,11 @@ type Config struct {
 	// transient view (congestion onset, drain) the steady-state window
 	// averages away.
 	SeriesIntervalNs Time
+	// FaultPlan, when non-nil, schedules live link failures during the run
+	// and enables the subnet-manager recovery model (trap latency, staged
+	// forwarding-table updates, optional fault-avoiding source reselection).
+	// A nil plan and an empty plan behave identically. See FaultPlan.
+	FaultPlan *FaultPlan
 	// Seed makes the run reproducible.
 	Seed int64
 }
@@ -157,6 +162,11 @@ type SeriesPoint struct {
 	// MeanLatencyNs averages the bin's delivery latencies (0 if none).
 	MeanLatencyNs float64
 	Delivered     int64
+	// Dropped counts packets lost at dead links in the bin (FaultPlan runs).
+	Dropped int64
+	// Reroutes counts packets steered off a faulty path by source
+	// reselection in the bin (FaultPlan runs with Reselect).
+	Reroutes int64
 }
 
 // TraceHop is one switch traversal in a packet trace.
@@ -176,6 +186,9 @@ type PacketTrace struct {
 	GenNs     Time
 	InjectNs  Time
 	DeliverNs Time // 0 if still in flight when the run ended
+	// DroppedNs is the time the packet died at a dead link (FaultPlan runs);
+	// 0 if it was never dropped.
+	DroppedNs Time
 	Hops      []TraceHop
 }
 
@@ -219,6 +232,10 @@ func (c Config) withDefaults() Config {
 	if c.MeasureNs == 0 {
 		c.MeasureNs = 200_000
 	}
+	if c.FaultPlan != nil {
+		plan := c.FaultPlan.withDefaults()
+		c.FaultPlan = &plan
+	}
 	return c
 }
 
@@ -256,6 +273,11 @@ func (c Config) validate() error {
 	}
 	if c.Switching != SwitchingVCT && c.Switching != SwitchingSAF {
 		return fmt.Errorf("sim: unknown switching mode %d", c.Switching)
+	}
+	if c.FaultPlan != nil {
+		if err := c.FaultPlan.validate(c.Subnet.Tree); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -295,8 +317,8 @@ type Result struct {
 	Series []SeriesPoint
 	// TotalDelivered / TotalGenerated count packets over the whole run.
 	TotalDelivered, TotalGenerated int64
-	// InFlightAtEnd = TotalGenerated - TotalDelivered: packets still queued
-	// or in the fabric when the run stopped.
+	// InFlightAtEnd = TotalGenerated - TotalDelivered - DroppedTotal:
+	// packets still queued or in the fabric when the run stopped.
 	InFlightAtEnd int64
 	// Events is the number of simulator events processed — typed event
 	// records dispatched by the engine loop (generation, routing, arrivals,
@@ -310,4 +332,31 @@ type Result struct {
 	// Saturated reports whether accepted traffic fell more than 2% below
 	// offered traffic, i.e. the operating point is past the knee.
 	Saturated bool
+
+	// Fault-injection outcomes; all zero unless Config.FaultPlan ran.
+
+	// DroppedTotal / DroppedWindow count packets lost at dead links over the
+	// whole run and inside the measurement window.
+	DroppedTotal, DroppedWindow int64
+	// DroppedAtDeadLink counts packets a live forwarding table steered onto
+	// a dead output port — the fate of RepairSubnet's broken descending
+	// entries and of every stale entry before the repair lands.
+	DroppedAtDeadLink int64
+	// DroppedOnDeadLink counts packets that were buffered on, serializing
+	// on, or injected into a link when it died.
+	DroppedOnDeadLink int64
+	// Reroutes counts packets steered off a faulty path by fault-avoiding
+	// source reselection (FaultPlan.Reselect).
+	Reroutes int64
+	// LFTUpdates counts applied per-switch staged table updates;
+	// LFTEntriesRewritten the individual entries they rewrote.
+	LFTUpdates, LFTEntriesRewritten int64
+	// BrokenEntries is the number of irreparable descending entries the SM's
+	// last sweep reported (they keep pointing at the dead link and drop).
+	BrokenEntries int
+	// FirstFaultNs is the first link-down time; LastDropNs the last drop.
+	FirstFaultNs, LastDropNs Time
+	// RecoveryNs is the SM convergence time: last staged table update
+	// applied minus first link failure. Zero when no update was needed.
+	RecoveryNs Time
 }

@@ -53,6 +53,17 @@ const (
 	evKick
 	// evRelease frees a VL-b output-buffer slot of op (tail left the switch).
 	evRelease
+	// evLinkDown kills the bidirectional link at switch a, abstract port b
+	// (Config.FaultPlan).
+	evLinkDown
+	// evLinkUp revives the bidirectional link at switch a, abstract port b.
+	evLinkUp
+	// evTrap is the subnet-manager model noticing the fabric changed (one
+	// trap latency after a link event): it recomputes repaired tables and
+	// stages per-switch forwarding-table updates.
+	evTrap
+	// evLFTUpdate applies the staged forwarding-table delta with index a.
+	evLFTUpdate
 )
 
 // event is one scheduled typed record. The argument fields are a union over

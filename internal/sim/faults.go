@@ -1,0 +1,477 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mlid/internal/core"
+	"mlid/internal/ib"
+	"mlid/internal/topology"
+)
+
+// Default subnet-manager reaction timing for fault injection. The trap
+// latency models port-down detection plus trap delivery to the SM; the
+// processing time models the SM's path recomputation; the update spacing
+// models one LinearForwardingTable SMP round-trip per switch, so table
+// updates land staged rather than atomically.
+const (
+	DefaultTrapLatencyNs Time = 5_000
+	DefaultSMProcessNs   Time = 2_000
+	DefaultLFTUpdateNs   Time = 500
+)
+
+// LinkFault schedules one bidirectional link outage. The link is named by
+// its switch-side endpoint (switch + abstract port), exactly like
+// core.FaultSet.FailLink; node-attachment links are named by the leaf-switch
+// endpoint. Both directions die and revive together, matching how a port
+// pair fails in practice.
+type LinkFault struct {
+	Switch int32
+	Port   int
+	// DownNs is the simulated time the link dies.
+	DownNs Time
+	// UpNs, when positive, is the time the link comes back; zero means the
+	// link stays down for the rest of the run.
+	UpNs Time
+}
+
+// FaultPlan schedules live link failures inside a running simulation and
+// configures the subnet-manager model's reaction to them. The offline fault
+// machinery (core.FaultSet, core.RepairSubnet, core.SelectDLID) rewrites
+// tables before a run starts; a FaultPlan instead drives the same repair
+// logic from the simulation clock, so the transient — drops before the trap
+// fires, staged table updates, source reselection — is observable.
+type FaultPlan struct {
+	Faults []LinkFault
+	// TrapLatencyNs is the delay between a link event and the SM noticing it
+	// (port-down detection + trap delivery). Zero takes the default.
+	TrapLatencyNs Time
+	// SMProcessNs is the SM's path-recomputation time between the trap and
+	// the first staged table update. Zero takes the default.
+	SMProcessNs Time
+	// LFTUpdateNs spaces consecutive per-switch table updates: the i-th
+	// switch with a delta is rewritten at trap + SMProcessNs + i*LFTUpdateNs.
+	// Zero takes the default.
+	LFTUpdateNs Time
+	// Reselect enables fault-avoiding source path selection once the first
+	// trap has fired: sources re-evaluate the destination's LID range
+	// against the live tables and dead links (core.SelectDLID's policy,
+	// applied to the running subnet) and steer packets onto surviving
+	// paths. Without it, sources keep their configured selection and
+	// packets routed onto broken entries drop.
+	Reselect bool
+}
+
+// withDefaults fills zero timing fields.
+func (p FaultPlan) withDefaults() FaultPlan {
+	if p.TrapLatencyNs == 0 {
+		p.TrapLatencyNs = DefaultTrapLatencyNs
+	}
+	if p.SMProcessNs == 0 {
+		p.SMProcessNs = DefaultSMProcessNs
+	}
+	if p.LFTUpdateNs == 0 {
+		p.LFTUpdateNs = DefaultLFTUpdateNs
+	}
+	return p
+}
+
+// validate rejects inconsistent plans against the subnet's fabric.
+func (p FaultPlan) validate(t *topology.Tree) error {
+	if p.TrapLatencyNs < 0 || p.SMProcessNs < 0 || p.LFTUpdateNs < 0 {
+		return fmt.Errorf("sim: negative FaultPlan timing")
+	}
+	for i, f := range p.Faults {
+		if !t.ValidSwitch(topology.SwitchID(f.Switch)) {
+			return fmt.Errorf("sim: FaultPlan.Faults[%d] names invalid switch %d", i, f.Switch)
+		}
+		if f.Port < 0 || f.Port >= t.M() {
+			return fmt.Errorf("sim: FaultPlan.Faults[%d] names invalid port %d on switch %d", i, f.Port, f.Switch)
+		}
+		if f.DownNs < 0 {
+			return fmt.Errorf("sim: FaultPlan.Faults[%d] has negative DownNs", i)
+		}
+		if f.UpNs != 0 && f.UpNs <= f.DownNs {
+			return fmt.Errorf("sim: FaultPlan.Faults[%d] revives at %d, not after its failure at %d", i, f.UpNs, f.DownNs)
+		}
+	}
+	return nil
+}
+
+// lftDelta is one staged forwarding-table rewrite.
+type lftDelta struct {
+	lid  ib.LID
+	port uint8
+}
+
+// stagedLFTUpdate is one switch's pending table delta, applied by a timed
+// evLFTUpdate event.
+type stagedLFTUpdate struct {
+	sw      int32
+	entries []lftDelta
+}
+
+// faultRun is the live-fault state of one simulation.
+type faultRun struct {
+	plan FaultPlan
+	// deadLinks holds the currently-dead links' canonical switch-side
+	// endpoints in event order (a slice, not a map, so SM sweeps iterate
+	// deterministically).
+	deadLinks [][2]int32
+	// epoch counts fabric-knowledge changes visible to sources: it bumps at
+	// every trap and every applied table update, invalidating reselection
+	// caches. Zero until the first trap — sources react to the SM's sweep,
+	// not to the failure itself.
+	epoch uint32
+	// shadow is the SM's view of where each switch's table is heading:
+	// live tables plus all staged-but-unapplied deltas. Sweeps diff against
+	// it so overlapping traps compose. Built lazily at the first trap.
+	shadow []*ib.LFT
+	staged []stagedLFTUpdate
+
+	firstDownNs  Time
+	lastRepairNs Time
+	lastBroken   int
+
+	// reselection caches, indexed src*nodes+dst; reselEpoch holds the epoch
+	// the cached mask was computed at (0 = unset; valid epochs are >= 1).
+	reselMask  []uint64
+	reselEpoch []uint32
+}
+
+// scheduleFaults seeds the plan's link events. Called once from Run.
+func (s *Sim) scheduleFaults() {
+	plan := s.cfg.FaultPlan
+	if plan == nil {
+		return
+	}
+	s.faults.plan = *plan
+	s.faults.firstDownNs = -1
+	s.faults.lastRepairNs = -1
+	if plan.Reselect && s.tree.Nodes() <= 4096 {
+		n := s.tree.Nodes()
+		s.faults.reselMask = make([]uint64, n*n)
+		s.faults.reselEpoch = make([]uint32, n*n)
+	}
+	for _, f := range plan.Faults {
+		s.schedule(f.DownNs, event{kind: evLinkDown, a: f.Switch, b: int32(f.Port)})
+		s.schedule(f.DownNs+plan.TrapLatencyNs, event{kind: evTrap})
+		if f.UpNs > 0 {
+			s.schedule(f.UpNs, event{kind: evLinkUp, a: f.Switch, b: int32(f.Port)})
+			s.schedule(f.UpNs+plan.TrapLatencyNs, event{kind: evTrap})
+		}
+	}
+}
+
+// linkEnds returns the transmitting out-ports of both directions of the link
+// at (sw, port): the switch's own out-port plus the peer's (switch or
+// endnode source).
+func (s *Sim) linkEnds(sw int32, port int) (a, b *outPort) {
+	a = s.switches[sw].out[port]
+	ref := s.tree.SwitchNeighbor(topology.SwitchID(sw), port)
+	switch ref.Kind {
+	case topology.KindSwitch:
+		b = s.switches[ref.Switch].out[ref.Port]
+	case topology.KindNode:
+		b = s.nodes[ref.Node].out
+	}
+	return a, b
+}
+
+// linkDown kills both directions of the link: packets buffered on the dead
+// out-ports are dropped (their held credits return so upstream state stays
+// consistent), and the link is recorded for the next SM sweep.
+func (s *Sim) linkDown(sw int32, port int) {
+	a, b := s.linkEnds(sw, port)
+	for _, op := range []*outPort{a, b} {
+		if op == nil || op.dead {
+			continue
+		}
+		op.dead = true
+		s.flushDead(op)
+	}
+	for _, e := range s.faults.deadLinks {
+		if e == [2]int32{sw, int32(port)} {
+			return
+		}
+	}
+	s.faults.deadLinks = append(s.faults.deadLinks, [2]int32{sw, int32(port)})
+	if s.faults.firstDownNs < 0 {
+		s.faults.firstDownNs = s.now
+	}
+}
+
+// linkUp revives both directions. Credit state needs no repair: every credit
+// a dead transmitter consumed came back either through normal delivery or
+// through dropPkt's credit return, so the port restarts with full credits.
+func (s *Sim) linkUp(sw int32, port int) {
+	a, b := s.linkEnds(sw, port)
+	for _, op := range []*outPort{a, b} {
+		if op != nil {
+			op.dead = false
+		}
+	}
+	for i, e := range s.faults.deadLinks {
+		if e == [2]int32{sw, int32(port)} {
+			s.faults.deadLinks = append(s.faults.deadLinks[:i], s.faults.deadLinks[i+1:]...)
+			break
+		}
+	}
+}
+
+// flushDead drops every packet buffered on a just-killed out-port: the
+// output-buffer queues (their occupancy slots free) and the input-buffered
+// packets waiting for a slot (their upstream credits return). A packet mid-
+// serialization keeps its pending evRelease, which settles the remaining
+// occupancy; the packet itself dies at head arrival via the upstream-dead
+// check.
+func (s *Sim) flushDead(op *outPort) {
+	for vl := range op.queue {
+		for op.queue[vl].len() > 0 {
+			p := op.queue[vl].popFront()
+			op.occupancy[vl]--
+			s.droppedOnDeadLink++
+			s.dropPkt(p)
+		}
+		for _, p := range op.waiting[vl] {
+			s.droppedOnDeadLink++
+			s.dropPkt(p)
+		}
+		op.waiting[vl] = op.waiting[vl][:0]
+	}
+}
+
+// dropPkt removes a packet from the model at a dead link: the upstream
+// credit it still holds (if any) returns as its input buffer frees, the drop
+// is counted against the window and the delivery series, and the packet is
+// recycled. Callers bump the per-cause counter before calling.
+func (s *Sim) dropPkt(p *pkt) {
+	s.droppedTotal++
+	if s.now >= s.cfg.WarmupNs && s.now < s.end {
+		s.droppedWindow++
+	}
+	s.lastDropNs = s.now
+	if iv := s.cfg.SeriesIntervalNs; iv > 0 && s.now < s.end {
+		s.seriesDropped[s.seriesBin(s.now)]++
+	}
+	if p.trace != nil {
+		p.trace.DroppedNs = s.now
+	}
+	if p.upstream != nil {
+		free := p.arrival + s.serPkt
+		if s.now > free {
+			free = s.now
+		}
+		s.schedule(free+s.cfg.FlyNs, event{kind: evCredit, op: p.upstream, b: int32(p.VL)})
+		p.upstream = nil
+	}
+	s.freePkt(p)
+}
+
+// smTrap is the subnet-manager model reacting to a link event, one trap
+// latency after it happened: recompute the repaired tables from the pristine
+// configuration and the currently-dead links (core.RepairSubnet), diff them
+// against the SM's projected view, and stage one timed update per switch
+// whose table changed.
+func (s *Sim) smTrap() {
+	fs := core.NewFaultSet()
+	for _, e := range s.faults.deadLinks {
+		fs.FailLink(s.tree, topology.SwitchID(e[0]), int(e[1]))
+	}
+	scratch := &ib.Subnet{
+		Tree:     s.tree,
+		Engine:   s.cfg.Subnet.Engine,
+		Endports: s.cfg.Subnet.Endports,
+		LFTs:     make([]*ib.LFT, len(s.cfg.Subnet.LFTs)),
+	}
+	for i, lft := range s.cfg.Subnet.LFTs {
+		scratch.LFTs[i] = lft.Clone()
+	}
+	_, broken, err := core.RepairSubnet(scratch, fs)
+	if err != nil {
+		s.fail(fmt.Errorf("sim: SM repair at %d ns: %w", s.now, err))
+		return
+	}
+	s.faults.lastBroken = len(broken)
+	if s.faults.shadow == nil {
+		s.faults.shadow = make([]*ib.LFT, len(s.switches))
+		for i, st := range s.switches {
+			s.faults.shadow[i] = st.lft.Clone()
+		}
+	}
+	staged := 0
+	for sw := range s.switches {
+		want := scratch.LFTs[sw].Entries()
+		have := s.faults.shadow[sw].Entries()
+		var delta []lftDelta
+		for lid := 1; lid < len(want) && lid < len(have); lid++ {
+			if want[lid] != have[lid] {
+				delta = append(delta, lftDelta{lid: ib.LID(lid), port: want[lid]})
+			}
+		}
+		if len(delta) == 0 {
+			continue
+		}
+		for _, d := range delta {
+			if err := s.faults.shadow[sw].Set(d.lid, d.port); err != nil {
+				s.fail(fmt.Errorf("sim: staging LFT update for switch %d: %w", sw, err))
+				return
+			}
+		}
+		idx := len(s.faults.staged)
+		s.faults.staged = append(s.faults.staged, stagedLFTUpdate{sw: int32(sw), entries: delta})
+		at := s.now + s.faults.plan.SMProcessNs + Time(staged)*s.faults.plan.LFTUpdateNs
+		s.schedule(at, event{kind: evLFTUpdate, a: int32(idx)})
+		staged++
+	}
+	// Sources learn of the fault from the SM's sweep: reselection activates
+	// (and caches invalidate) even when no table could be repaired.
+	s.faults.epoch++
+}
+
+// applyLFTUpdate rewrites one switch's live forwarding table with a staged
+// delta — the timed, per-switch (non-atomic) table update of a real SM sweep.
+func (s *Sim) applyLFTUpdate(idx int) {
+	u := s.faults.staged[idx]
+	lft := s.switches[u.sw].lft
+	for _, d := range u.entries {
+		if err := lft.Set(d.lid, d.port); err != nil {
+			s.fail(fmt.Errorf("sim: applying LFT update to switch %d: %w", u.sw, err))
+			return
+		}
+	}
+	s.lftUpdates++
+	s.lftEntriesRewritten += int64(len(u.entries))
+	s.faults.lastRepairNs = s.now
+	s.faults.epoch++
+}
+
+// reselectActive reports whether fault-avoiding source selection is in
+// force: a plan with Reselect set, after the first trap fired.
+func (s *Sim) reselectActive() bool {
+	return s.cfg.FaultPlan != nil && s.faults.plan.Reselect && s.faults.epoch > 0
+}
+
+// usableMask computes which of the destination's LID offsets currently name
+// a surviving path from src through the live tables — core.SelectDLID's
+// fault avoidance evaluated against the running subnet, including partially
+// applied repairs. Offsets beyond 64 are not tracked (no evaluated network
+// needs them); the mask is cached per (src, dst) until the next epoch bump.
+func (s *Sim) usableMask(src, dst topology.NodeID) uint64 {
+	idx := -1
+	if s.faults.reselEpoch != nil {
+		idx = int(src)*s.tree.Nodes() + int(dst)
+		if s.faults.reselEpoch[idx] == s.faults.epoch {
+			return s.faults.reselMask[idx]
+		}
+	}
+	r := s.cfg.Subnet.Endports[dst]
+	count := r.Count()
+	if count > 64 {
+		count = 64
+	}
+	var mask uint64
+	for off := 0; off < count; off++ {
+		if s.pathAlive(src, r.Base+ib.LID(off), dst) {
+			mask |= 1 << uint(off)
+		}
+	}
+	if idx >= 0 {
+		s.faults.reselMask[idx] = mask
+		s.faults.reselEpoch[idx] = s.faults.epoch
+	}
+	return mask
+}
+
+// pathAlive walks the live forwarding tables from src toward dlid and
+// reports whether the route reaches dst without crossing a dead link.
+func (s *Sim) pathAlive(src topology.NodeID, dlid ib.LID, dst topology.NodeID) bool {
+	if s.nodes[src].out.dead {
+		return false
+	}
+	sw, _ := s.tree.NodeAttachment(src)
+	maxHops := 2*s.tree.N() + 1
+	for hop := 0; hop <= maxHops; hop++ {
+		st := s.switches[sw]
+		phys, err := st.lft.Lookup(dlid)
+		if err != nil {
+			return false
+		}
+		out := int(phys) - 1
+		if out < 0 || out >= len(st.out) {
+			return false
+		}
+		op := st.out[out]
+		if op.dead {
+			return false
+		}
+		if op.dest.isNode {
+			return topology.NodeID(op.dest.node) == dst
+		}
+		sw = topology.SwitchID(op.dest.sw)
+	}
+	return false
+}
+
+// reselect picks a destination LID avoiding known-dead paths, honoring the
+// configured policy within the surviving set: rank selection keeps its
+// canonical choice when it survives, random selection draws uniformly over
+// the survivors. ok=false (every named path dead, or none tracked) falls
+// back to the caller's normal selection — the packet documents the outage by
+// dropping at the dead link.
+func (s *Sim) reselect(n *nodeState, src, dst topology.NodeID) (ib.LID, bool) {
+	mask := s.usableMask(src, dst)
+	if mask == 0 {
+		return 0, false
+	}
+	r := s.cfg.Subnet.Endports[dst]
+	count := r.Count()
+	if count > 64 {
+		count = 64
+	}
+	full := count == 64 && mask == ^uint64(0) || count < 64 && mask == (uint64(1)<<uint(count))-1
+	if s.cfg.PathSelect == PathSelectRandom {
+		alive := bits.OnesCount64(mask)
+		k := 0
+		if alive > 1 {
+			k = n.rng.Intn(alive)
+		}
+		off := 0
+		for m := mask; ; m &= m - 1 {
+			if k == 0 {
+				off = bits.TrailingZeros64(m)
+				break
+			}
+			k--
+		}
+		if !full {
+			s.noteReroute()
+		}
+		return r.Base + ib.LID(off), true
+	}
+	canonical := s.cfg.Subnet.DLID(src, dst)
+	off := int(canonical) - int(r.Base)
+	if off >= 0 && off < count && mask&(1<<uint(off)) != 0 {
+		return canonical, true
+	}
+	// Scan cyclically from the canonical offset for the nearest survivor.
+	for i := 1; i < count; i++ {
+		o := (off + i) % count
+		if o < 0 {
+			o += count
+		}
+		if mask&(1<<uint(o)) != 0 {
+			s.noteReroute()
+			return r.Base + ib.LID(o), true
+		}
+	}
+	return 0, false
+}
+
+// noteReroute counts one packet steered off a faulty path by reselection.
+func (s *Sim) noteReroute() {
+	s.reroutes++
+	if iv := s.cfg.SeriesIntervalNs; iv > 0 && s.now < s.end {
+		s.seriesReroutes[s.seriesBin(s.now)]++
+	}
+}

@@ -74,6 +74,10 @@ type outPort struct {
 	limited  bool
 	isSource bool
 
+	// dead marks a link killed by a FaultPlan event: nothing transmits on
+	// it, and packets entering or arriving over it are dropped.
+	dead bool
+
 	busyUntil Time
 	credits   []int32   // per VL: receiver input-buffer credits held
 	occupancy []int32   // per VL: packets resident in the output buffer
@@ -110,12 +114,16 @@ type switchState struct {
 	out []*outPort // by abstract port
 }
 
-// nodeState is one endnode: an open-loop generator plus a sink.
+// nodeState is one endnode: an open-loop generator plus a sink. The k-th
+// generation time is derived from the integer packet count (genTimeAt) rather
+// than a float accumulator, so rounding error cannot drift over soak-length
+// runs.
 type nodeState struct {
-	out     *outPort
-	rng     *rand.Rand
-	nextGen float64
-	nextVL  int
+	out      *outPort
+	rng      *rand.Rand
+	genPhase float64
+	genCount int64
+	nextVL   int
 }
 
 // Sim is one in-progress simulation run.
@@ -156,9 +164,22 @@ type Sim struct {
 	pktFree []*pkt
 
 	// series accumulators, indexed by tail / SeriesIntervalNs.
-	seriesBytes []int64
-	seriesCount []int64
-	seriesLat   []float64
+	seriesBytes    []int64
+	seriesCount    []int64
+	seriesLat      []float64
+	seriesDropped  []int64
+	seriesReroutes []int64
+
+	// live-fault state and counters (Config.FaultPlan).
+	faults              faultRun
+	droppedTotal        int64
+	droppedWindow       int64
+	droppedAtDeadLink   int64
+	droppedOnDeadLink   int64
+	reroutes            int64
+	lftUpdates          int64
+	lftEntriesRewritten int64
+	lastDropNs          Time
 }
 
 // Run executes one simulation and returns its measurements.
@@ -170,12 +191,14 @@ func Run(cfg Config) (Result, error) {
 	s := build(cfg)
 	s.end = cfg.WarmupNs + cfg.MeasureNs
 
+	s.scheduleFaults()
+
 	// Start every generator at a random phase within its first interval to
 	// avoid lockstep injection.
 	ia := s.interarrival()
 	for i, n := range s.nodes {
-		n.nextGen = n.rng.Float64() * ia
-		s.schedule(Time(math.Round(n.nextGen)), event{kind: evGenerate, a: int32(i)})
+		n.genPhase = n.rng.Float64() * ia
+		s.schedule(genTimeAt(n.genPhase, ia, 0), event{kind: evGenerate, a: int32(i)})
 	}
 
 	events := s.runUntil(s.end)
@@ -189,7 +212,7 @@ func Run(cfg Config) (Result, error) {
 		GeneratedWindow:  s.generatedWindow,
 		TotalDelivered:   s.totalDelivered,
 		TotalGenerated:   s.totalGenerated,
-		InFlightAtEnd:    s.totalGenerated - s.totalDelivered,
+		InFlightAtEnd:    s.totalGenerated - s.totalDelivered - s.droppedTotal,
 		Events:           events,
 		EndTime:          s.now,
 		MeanLatencyNs:    s.lat.Mean(),
@@ -200,6 +223,23 @@ func Run(cfg Config) (Result, error) {
 	}
 	if s.flowHigh == nil {
 		res.OutOfOrder = -1
+	}
+	if cfg.FaultPlan != nil {
+		res.DroppedTotal = s.droppedTotal
+		res.DroppedWindow = s.droppedWindow
+		res.DroppedAtDeadLink = s.droppedAtDeadLink
+		res.DroppedOnDeadLink = s.droppedOnDeadLink
+		res.Reroutes = s.reroutes
+		res.LFTUpdates = s.lftUpdates
+		res.LFTEntriesRewritten = s.lftEntriesRewritten
+		res.BrokenEntries = s.faults.lastBroken
+		res.LastDropNs = s.lastDropNs
+		if s.faults.firstDownNs >= 0 {
+			res.FirstFaultNs = s.faults.firstDownNs
+			if s.faults.lastRepairNs >= 0 {
+				res.RecoveryNs = s.faults.lastRepairNs - s.faults.firstDownNs
+			}
+		}
 	}
 	res.Accepted = float64(s.deliveredBytesWindow) / float64(cfg.MeasureNs) / float64(s.tree.Nodes())
 	res.Saturated = res.Accepted < 0.98*cfg.OfferedLoad
@@ -230,6 +270,8 @@ func Run(cfg Config) (Result, error) {
 				StartNs:   Time(bin) * iv,
 				Accepted:  float64(s.seriesBytes[bin]) / float64(iv) / float64(s.tree.Nodes()),
 				Delivered: s.seriesCount[bin],
+				Dropped:   s.seriesDropped[bin],
+				Reroutes:  s.seriesReroutes[bin],
 			}
 			if s.seriesCount[bin] > 0 {
 				sp.MeanLatencyNs = s.seriesLat[bin] / float64(s.seriesCount[bin])
@@ -291,7 +333,14 @@ func build(cfg Config) *Sim {
 	}
 	s.engine.heapOnly = engineHeapOnly
 	for sw := 0; sw < t.Switches(); sw++ {
-		st := &switchState{lft: cfg.Subnet.LFTs[sw], out: make([]*outPort, t.M())}
+		lft := cfg.Subnet.LFTs[sw]
+		if cfg.FaultPlan != nil {
+			// Live tables diverge from the configured subnet once the SM
+			// model starts applying timed updates; clone so the caller's
+			// subnet stays pristine (and serves as the repair baseline).
+			lft = lft.Clone()
+		}
+		st := &switchState{lft: lft, out: make([]*outPort, t.M())}
 		for k := 0; k < t.M(); k++ {
 			ref := t.SwitchNeighbor(topology.SwitchID(sw), k)
 			var dst rxRef
@@ -363,6 +412,14 @@ func (s *Sim) dispatch(ev event) {
 		s.kick(ev.op)
 	case evRelease:
 		s.releaseSlot(ev.op, int(ev.b))
+	case evLinkDown:
+		s.linkDown(ev.a, int(ev.b))
+	case evLinkUp:
+		s.linkUp(ev.a, int(ev.b))
+	case evTrap:
+		s.smTrap()
+	case evLFTUpdate:
+		s.applyLFTUpdate(int(ev.a))
 	default:
 		s.fail(fmt.Errorf("sim: unknown event kind %d (engine bug)", ev.kind))
 	}
@@ -427,17 +484,30 @@ func (s *Sim) generate(node int32) {
 	}
 	s.requestTransfer(n.out, p)
 
-	n.nextGen += s.interarrival()
-	next := Time(math.Round(n.nextGen))
+	n.genCount++
+	next := genTimeAt(n.genPhase, s.interarrival(), n.genCount)
 	if next <= s.end {
 		s.schedule(next, event{kind: evGenerate, a: node})
 	}
+}
+
+// genTimeAt returns the k-th generation time of a source with the given
+// random phase and interarrival spacing. Deriving each time from the integer
+// packet count (rather than accumulating a float) keeps the realized
+// injection rate within one rounding of OfferedLoad at any horizon.
+func genTimeAt(phase, ia float64, k int64) Time {
+	return Time(math.Round(phase + float64(k)*ia))
 }
 
 // selectDLID applies the configured path-selection policy for one packet.
 func (s *Sim) selectDLID(n *nodeState, src, dst topology.NodeID) ib.LID {
 	if s.cfg.DLIDFunc != nil {
 		return s.cfg.DLIDFunc(src, dst)
+	}
+	if s.reselectActive() {
+		if lid, ok := s.reselect(n, src, dst); ok {
+			return lid
+		}
 	}
 	if s.cfg.PathSelect == PathSelectRandom {
 		r := s.cfg.Subnet.Endports[dst]
@@ -454,6 +524,12 @@ func (s *Sim) selectDLID(n *nodeState, src, dst topology.NodeID) ib.LID {
 // crossbar routing delay the forwarding table names the output port and the
 // packet requests an output-buffer slot.
 func (s *Sim) swArrive(sw int32, inPort int, p *pkt) {
+	if p.upstream != nil && p.upstream.dead {
+		// The link died while the packet was flying or serializing on it.
+		s.droppedOnDeadLink++
+		s.dropPkt(p)
+		return
+	}
 	p.arrival = s.now
 	p.inPort = inPort
 	if p.trace != nil {
@@ -482,6 +558,14 @@ func (s *Sim) route(sw int32, p *pkt) {
 		return
 	}
 	op := st.out[out]
+	if op.dead {
+		// The table — stale before the SM's repair lands, or holding an
+		// irreparable descending entry after it — forwards onto a dead
+		// link. Never silently misroute: count and drop.
+		s.droppedAtDeadLink++
+		s.dropPkt(p)
+		return
+	}
 	if s.cfg.Reception == ReceptionIdeal && op.dest.isNode {
 		s.deliverIdeal(op.dest.node, p)
 		return
@@ -493,6 +577,13 @@ func (s *Sim) route(sw int32, p *pkt) {
 // is full the packet waits in its input buffer (virtual cut-through: the
 // whole packet collapses there), holding the upstream credit.
 func (s *Sim) requestTransfer(op *outPort, p *pkt) {
+	if op.dead {
+		// Injection into a dead link (a source whose attachment link is
+		// down, or a flush race); route-time drops are counted separately.
+		s.droppedOnDeadLink++
+		s.dropPkt(p)
+		return
+	}
 	vl := int(p.VL)
 	if op.limited && op.occupancy[vl] >= int32(s.cfg.BufPackets) {
 		op.waiting[vl] = append(op.waiting[vl], p)
@@ -524,7 +615,7 @@ func (s *Sim) completeTransfer(op *outPort, p *pkt) {
 // transmitting the next ready packet, picking among virtual lanes with
 // queued packets and available credits in round-robin order.
 func (s *Sim) kick(op *outPort) {
-	if op.kickArmed {
+	if op.kickArmed || op.dead {
 		return
 	}
 	if op.busyUntil > s.now {
@@ -654,12 +745,21 @@ func (s *Sim) deliverIdeal(node int32, p *pkt) {
 // packet is consumed as it streams in: delivery completes at tail arrival,
 // and the input buffer's credit returns immediately after.
 func (s *Sim) nodeArrive(node int32, p *pkt) {
+	if p.upstream != nil && p.upstream.dead {
+		s.droppedOnDeadLink++
+		s.dropPkt(p)
+		return
+	}
 	tail := s.now + s.serPkt
 	up := p.upstream
 	vl := int32(p.VL)
 	p.upstream = nil
 	s.schedule(tail, event{kind: evDeliver, a: node, p: p})
-	s.schedule(tail+s.cfg.FlyNs, event{kind: evCredit, op: up, b: vl})
+	if up != nil {
+		// Guard against a nil upstream (as deliverIdeal and completeTransfer
+		// do): scheduling evCredit with a nil port panics in dispatch.
+		s.schedule(tail+s.cfg.FlyNs, event{kind: evCredit, op: up, b: vl})
+	}
 }
 
 // deliver finalizes a packet at its destination: correctness check,
@@ -681,12 +781,7 @@ func (s *Sim) deliver(node int32, p *pkt, tail Time) {
 		}
 	}
 	if iv := s.cfg.SeriesIntervalNs; iv > 0 && tail < s.end {
-		bin := int(tail / iv)
-		for len(s.seriesBytes) <= bin {
-			s.seriesBytes = append(s.seriesBytes, 0)
-			s.seriesCount = append(s.seriesCount, 0)
-			s.seriesLat = append(s.seriesLat, 0)
-		}
+		bin := s.seriesBin(tail)
 		s.seriesBytes[bin] += int64(p.Size)
 		s.seriesCount[bin]++
 		s.seriesLat[bin] += float64(tail - p.GenTime)
@@ -707,6 +802,20 @@ func (s *Sim) deliver(node int32, p *pkt, tail Time) {
 			s.cfg.LatencyHist.Add(float64(tail - p.GenTime))
 		}
 	}
+}
+
+// seriesBin returns the series index for a timestamp, growing every series
+// accumulator to cover it. Callers must have checked SeriesIntervalNs > 0.
+func (s *Sim) seriesBin(t Time) int {
+	bin := int(t / s.cfg.SeriesIntervalNs)
+	for len(s.seriesBytes) <= bin {
+		s.seriesBytes = append(s.seriesBytes, 0)
+		s.seriesCount = append(s.seriesCount, 0)
+		s.seriesLat = append(s.seriesLat, 0)
+		s.seriesDropped = append(s.seriesDropped, 0)
+		s.seriesReroutes = append(s.seriesReroutes, 0)
+	}
+	return bin
 }
 
 // fail records the first fatal model error; the run aborts with it.

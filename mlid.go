@@ -297,6 +297,18 @@ const (
 // Simulate executes one discrete-event simulation run.
 func Simulate(cfg SimConfig) (SimResult, error) { return sim.Run(cfg) }
 
+// Live fault-injection types (SimConfig.FaultPlan): link failures scheduled
+// on the simulation clock, with a subnet-manager recovery model (trap
+// latency, staged forwarding-table updates, fault-avoiding reselection).
+type (
+	// FaultPlan schedules link failures inside a running simulation.
+	FaultPlan = sim.FaultPlan
+	// LinkFault is one scheduled bidirectional link outage.
+	LinkFault = sim.LinkFault
+	// SimSeriesPoint is one time bin of a run's delivery/drop series.
+	SimSeriesPoint = sim.SeriesPoint
+)
+
 // Batch (closed-workload) simulation types.
 type (
 	// BatchConfig describes a closed workload: all messages enqueued at
@@ -363,6 +375,33 @@ func EvalTable1(nets []EvalNetwork) ([]EvalTable1Row, error) { return experiment
 
 // EvalNetworks returns the four evaluation network sizes.
 func EvalNetworks() []EvalNetwork { return experiment.PaperNetworks() }
+
+// Recovery-transient study types: how each scheme rides through a live link
+// failure (see SimConfig.FaultPlan and EXPERIMENTS.md).
+type (
+	// EvalRecoverySpec configures the recovery-transient study.
+	EvalRecoverySpec = experiment.RecoverySpec
+	// EvalRecoveryRow is one (scheme, VL count) outcome of the study.
+	EvalRecoveryRow = experiment.RecoveryRow
+)
+
+// EvalRecoverySpecDefault returns the full-fidelity recovery study spec.
+func EvalRecoverySpecDefault() EvalRecoverySpec { return experiment.RecoveryStudySpec() }
+
+// EvalRecoverySpecQuick returns the reduced-cost recovery study spec.
+func EvalRecoverySpecQuick() EvalRecoverySpec { return experiment.QuickRecoverySpec() }
+
+// EvalRecoveryStudy runs the recovery transient for both schemes across the
+// spec's VL counts.
+func EvalRecoveryStudy(spec EvalRecoverySpec) ([]EvalRecoveryRow, error) {
+	return experiment.RecoveryStudy(spec)
+}
+
+// FormatRecovery renders recovery rows as a markdown table.
+func FormatRecovery(rows []EvalRecoveryRow) string { return experiment.FormatRecovery(rows) }
+
+// RecoveryCSV renders recovery rows in long form.
+func RecoveryCSV(rows []EvalRecoveryRow) string { return experiment.RecoveryCSV(rows) }
 
 // Observation is one of the paper's evaluation claims checked against
 // measured figures.
