@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test ci bench bench-engine vet lint lint-fix race
+.PHONY: build test ci bench bench-engine vet lint lint-fix race soak
 
 build:
 	$(GO) build ./...
@@ -30,9 +30,17 @@ lint-fix: lint
 race:
 	$(GO) test -race ./internal/sim/... ./internal/experiment/... ./internal/sm/... ./internal/core/...
 
-# ci is the gate for every change: tier-1 tests plus vet, ibvet and the race
-# pass.
-ci: build vet lint test race
+# soak runs the deterministic chaos campaigns: two seeds of link-flap
+# schedules with the reliable transport on, each executed twice per scheduler
+# path (calendar and heap-only) and diffed bit for bit, with packet
+# conservation (generated = delivered + failed + in-flight) asserted inside
+# every campaign.
+soak:
+	$(GO) test -run 'TestChaosSoakDeterminism' -count=1 ./internal/experiment/
+
+# ci is the gate for every change: tier-1 tests plus vet, ibvet, the race
+# pass and the chaos soak.
+ci: build vet lint test race soak
 
 # bench regenerates the figure-level benchmarks with allocation counts.
 bench:

@@ -9,6 +9,8 @@
 //	ibsweep -fig all -quick -csv out/   # all figures (reduced), CSV per figure
 //	ibsweep -fault                  # recovery-transient study (live link failure)
 //	ibsweep -fault -quick -csv out/     # reduced study, CSV to out/recovery.csv
+//	ibsweep -chaos                  # seeded chaos campaign with reliable transport
+//	ibsweep -chaos -quick -csv out/     # reduced campaign, CSV to out/chaos.csv
 //
 // Full-fidelity sweeps of the two 128-node networks take a few minutes and
 // the 512-node network longer; -quick cuts the load points and windows while
@@ -31,6 +33,7 @@ func main() {
 		table1  = flag.Bool("table1", false, "print Table 1 (network configurations)")
 		fig     = flag.String("fig", "", "figure to run: F1..F8, a short name like c-16x2, or 'all'")
 		fault   = flag.Bool("fault", false, "run the recovery-transient study: a live link failure mid-measurement, SLID vs MLID")
+		chaos   = flag.Bool("chaos", false, "run the seeded chaos campaign: link flaps and switch kills with the reliable transport, SLID vs MLID")
 		quick   = flag.Bool("quick", false, "reduced load points and windows")
 		chart   = flag.Bool("chart", false, "render ASCII charts to stdout")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files into")
@@ -81,8 +84,26 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if *chaos {
+		spec := mlid.EvalChaosSpecDefault()
+		if *quick {
+			spec = mlid.EvalChaosSpecQuick()
+		}
+		fmt.Printf("chaos campaign: %s, fault rates %v, outages %d-%d ns, %d switch kill(s), seed %d\n",
+			spec.Network, spec.FaultRates, spec.MinDownNs, spec.MaxDownNs, spec.SwitchKills, spec.Seed)
+		rows, err := mlid.EvalChaosStudy(spec)
+		fatal(err)
+		fmt.Print(mlid.FormatChaos(rows))
+		if *csvDir != "" {
+			fatal(os.MkdirAll(*csvDir, 0o755))
+			path := filepath.Join(*csvDir, "chaos.csv")
+			fatal(os.WriteFile(path, []byte(mlid.ChaosCSV(rows)), 0o644))
+			fmt.Printf("wrote %s\n", path)
+		}
+		fmt.Println()
+	}
 	if *fig == "" {
-		if !*table1 && !*fault {
+		if !*table1 && !*fault && !*chaos {
 			flag.Usage()
 			os.Exit(2)
 		}

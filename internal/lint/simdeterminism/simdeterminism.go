@@ -8,6 +8,10 @@
 //
 //   - wall-clock reads (time.Now, time.Since, time.Until) — simulated time
 //     is sim.Time, derived from the event clock;
+//   - runtime timers (time.Sleep, time.After, time.Tick, time.AfterFunc,
+//     time.NewTimer, time.NewTicker) — retransmit/timeout work must be
+//     scheduled as events on the simulation clock, where it is reproducible
+//     and visible to the drain horizon, never on goroutine timers;
 //   - the global math/rand generators (rand.Intn, rand.Float64, ...) —
 //     randomness must flow from the run's seeded *rand.Rand;
 //   - process-environment entropy (os.Getpid, os.Getenv, os.Hostname, ...)
@@ -41,6 +45,15 @@ var corePackages = map[string]bool{"sim": true, "sm": true, "core": true, "exper
 // timeFuncs are the wall-clock reads; everything else in package time
 // (constants, Duration arithmetic, parsing) is deterministic.
 var timeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// timerFuncs start runtime timers. The transport's retransmit timers made
+// "just sleep until the timeout" a tempting shortcut; timer goroutines fire
+// on the wall clock, invisibly to the event engine and its drain horizon,
+// so timeouts must be evRexmit-style events on the simulation clock instead.
+var timerFuncs = map[string]bool{
+	"Sleep": true, "After": true, "Tick": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
 
 // osFuncs read process-environment entropy.
 var osFuncs = map[string]bool{
@@ -77,6 +90,9 @@ func run(pass *analysis.Pass) error {
 				case "time":
 					if timeFuncs[name] {
 						pass.Reportf(n.Pos(), "call to time.%s in simulator code: derive timing from the event clock (sim.Time), not the wall clock", name)
+					}
+					if timerFuncs[name] {
+						pass.Reportf(n.Pos(), "time.%s in simulator code: schedule retransmit/timeout work as events on the simulation clock, not on runtime timers", name)
 					}
 				case "math/rand", "math/rand/v2":
 					// Constructors are fine: rand.New(rand.NewSource(seed))

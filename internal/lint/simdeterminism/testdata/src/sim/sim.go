@@ -28,6 +28,17 @@ func (e *engine) badEntropy() int64 {
 	return t.UnixNano() + int64(jitter) + int64(pid)
 }
 
+func (e *engine) badTimers() {
+	// A transport-style retransmit timeout must be an event on the
+	// simulation clock, never a runtime timer.
+	time.Sleep(10 * time.Millisecond) // want `time\.Sleep in simulator code`
+	_ = time.After(time.Second)       // want `time\.After in simulator code`
+	_ = time.Tick(time.Second)        // want `time\.Tick in simulator code`
+	_ = time.AfterFunc(time.Second, func() {}) // want `time\.AfterFunc in simulator code`
+	_ = time.NewTimer(time.Second)             // want `time\.NewTimer in simulator code`
+	_ = time.NewTicker(time.Second)            // want `time\.NewTicker in simulator code`
+}
+
 func (e *engine) goodEntropy() int64 {
 	// Negative cases: the seeded generator, constants and duration
 	// arithmetic are all deterministic.

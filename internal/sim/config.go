@@ -150,8 +150,20 @@ type Config struct {
 	// forwarding-table updates, optional fault-avoiding source reselection).
 	// A nil plan and an empty plan behave identically. See FaultPlan.
 	FaultPlan *FaultPlan
+	// Transport, when non-nil, enables the reliable end-to-end transport
+	// layer: per-flow packet sequence numbers, receiver ACK/NAK on a
+	// dedicated management VL, and sender timeout-retransmission with
+	// exponential backoff. Off (nil) by default; a disabled run is
+	// bit-for-bit identical to one built before the transport existed.
+	// See TransportConfig.
+	Transport *TransportConfig
 	// Seed makes the run reproducible.
 	Seed int64
+	// HeapOnlyScheduler disables the engine's calendar-queue fast path so
+	// every event takes the fallback heap. Results must not depend on it:
+	// it exists so determinism suites outside this package (the chaos soak)
+	// can prove both scheduler paths produce bit-identical results.
+	HeapOnlyScheduler bool
 }
 
 // SeriesPoint is one time bin of a run's delivery series.
@@ -167,6 +179,9 @@ type SeriesPoint struct {
 	// Reroutes counts packets steered off a faulty path by source
 	// reselection in the bin (FaultPlan runs with Reselect).
 	Reroutes int64
+	// Retransmits counts retransmissions injected in the bin; Failed the
+	// packets whose retry budget ran out in the bin (Transport runs).
+	Retransmits, Failed int64
 }
 
 // TraceHop is one switch traversal in a packet trace.
@@ -236,6 +251,10 @@ func (c Config) withDefaults() Config {
 		plan := c.FaultPlan.withDefaults()
 		c.FaultPlan = &plan
 	}
+	if c.Transport != nil {
+		tc := c.Transport.withDefaults()
+		c.Transport = &tc
+	}
 	return c
 }
 
@@ -277,6 +296,17 @@ func (c Config) validate() error {
 	if c.FaultPlan != nil {
 		if err := c.FaultPlan.validate(c.Subnet.Tree); err != nil {
 			return err
+		}
+	}
+	if c.Transport != nil {
+		if err := c.Transport.validate(); err != nil {
+			return err
+		}
+		if n := c.Subnet.Tree.Nodes(); n > 1024 {
+			return fmt.Errorf("sim: Transport tracks per-(src,dst) flow state and supports fabrics up to 1024 nodes, got %d", n)
+		}
+		if c.DataVLs > 14 {
+			return fmt.Errorf("sim: Transport claims one management VL on top of DataVLs; DataVLs must be <= 14, got %d", c.DataVLs)
 		}
 	}
 	return nil
@@ -359,4 +389,38 @@ type Result struct {
 	// RecoveryNs is the SM convergence time: last staged table update
 	// applied minus first link failure. Zero when no update was needed.
 	RecoveryNs Time
+
+	// Reliable-transport outcomes; all zero unless Config.Transport ran.
+
+	// P999LatencyNs is the 99.9th-percentile generation-to-delivery latency
+	// of window deliveries — the recovery tail retransmissions stretch.
+	// (Filled for every run, but only interesting with Transport on.)
+	P999LatencyNs float64
+	// Retransmits counts retransmission injections; every retransmission
+	// re-enters path selection, so an MLID source can steer the retry onto
+	// a surviving LID while a SLID source repeats the single path.
+	Retransmits int64
+	// Failed counts packets whose retry budget ran out and that never
+	// reached their destination: the transport gave up and the loss is
+	// explicit. (A packet that was delivered but whose every acknowledgment
+	// died is abandoned by its sender without being counted here — it is
+	// delivered, just unconfirmed.) With Transport on,
+	// InFlightAtEnd = TotalGenerated - TotalDelivered - Failed (dropped
+	// copies are retried, not lost), and a fully-drained run has
+	// InFlightAtEnd == 0: zero silent loss.
+	Failed int64
+	// DupDeliveries counts copies the receiver discarded as duplicates
+	// (late originals after a spurious retransmission, or repeated
+	// retransmissions racing their ACKs).
+	DupDeliveries int64
+	// AcksSent / NaksSent count control packets injected on the management
+	// VL; CtrlBytesSent is their total size — the ACK traffic overhead.
+	AcksSent, NaksSent int64
+	CtrlBytesSent      int64
+	// LastRecoveredNs is the delivery time of the last accepted
+	// retransmission: the time-to-last-recovered-delivery of the run.
+	LastRecoveredNs Time
+	// DrainedNs is the post-generation drain horizon the run waited for
+	// outstanding retransmissions (TransportConfig.DrainNs after defaults).
+	DrainedNs Time
 }

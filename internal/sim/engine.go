@@ -64,6 +64,10 @@ const (
 	evTrap
 	// evLFTUpdate applies the staged forwarding-table delta with index a.
 	evLFTUpdate
+	// evRexmit fires the retransmit timer of transport flow a; b carries the
+	// timer generation that armed it, so a stale timer (the flow re-armed or
+	// fully acknowledged since) is ignored (Config.Transport).
+	evRexmit
 )
 
 // event is one scheduled typed record. The argument fields are a union over

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"mlid/internal/core"
 	"mlid/internal/ib"
@@ -35,6 +36,20 @@ type LinkFault struct {
 	UpNs Time
 }
 
+// SwitchFault schedules one whole-switch outage: every port of the named
+// switch goes down at DownNs and (when UpNs is positive) comes back at UpNs,
+// atomically — all link-down events land at the same instant, before the
+// single trap they share. Killing a switch severs its attached nodes (leaf)
+// or a slice of the fabric's spine capacity (inner/root levels).
+type SwitchFault struct {
+	Switch int32
+	// DownNs is the simulated time the switch dies.
+	DownNs Time
+	// UpNs, when positive, is the time the switch comes back; zero means it
+	// stays down for the rest of the run.
+	UpNs Time
+}
+
 // FaultPlan schedules live link failures inside a running simulation and
 // configures the subnet-manager model's reaction to them. The offline fault
 // machinery (core.FaultSet, core.RepairSubnet, core.SelectDLID) rewrites
@@ -43,6 +58,10 @@ type LinkFault struct {
 // fires, staged table updates, source reselection — is observable.
 type FaultPlan struct {
 	Faults []LinkFault
+	// SwitchFaults take every port of a switch down/up atomically; see
+	// SwitchFault. A switch fault must not overlap a link fault naming one
+	// of the switch's links (validate rejects the ambiguity).
+	SwitchFaults []SwitchFault
 	// TrapLatencyNs is the delay between a link event and the SM noticing it
 	// (port-down detection + trap delivery). Zero takes the default.
 	TrapLatencyNs Time
@@ -76,11 +95,37 @@ func (p FaultPlan) withDefaults() FaultPlan {
 	return p
 }
 
-// validate rejects inconsistent plans against the subnet's fabric.
+// faultIval is one outage interval of a physical link, attributed back to
+// the plan entry that produced it, used by up-front validation.
+type faultIval struct {
+	key      [2]int32 // canonical switch-side endpoint of the link
+	down, up Time     // up == 0 means down forever
+	desc     string   // "Faults[2] (switch 3 port 1)" etc.
+}
+
+// canonicalLink names a physical link by one agreed switch-side endpoint, so
+// faults addressing the same link from either end collide in validation. The
+// lower switch ID wins for inter-switch links; node-attachment links have
+// only the one switch-side name.
+func canonicalLink(t *topology.Tree, sw int32, port int) [2]int32 {
+	ref := t.SwitchNeighbor(topology.SwitchID(sw), port)
+	if ref.Kind == topology.KindSwitch && int32(ref.Switch) < sw {
+		return [2]int32{int32(ref.Switch), int32(ref.Port)}
+	}
+	return [2]int32{sw, int32(port)}
+}
+
+// validate rejects inconsistent plans against the subnet's fabric, up front
+// and with a descriptive error — unknown switch or port names, down-after-up
+// inversions, duplicate events at the same instant, and overlapping outage
+// intervals on the same physical link (including a link fault colliding with
+// a switch fault that covers the same link) — instead of misbehaving or
+// panicking mid-run.
 func (p FaultPlan) validate(t *topology.Tree) error {
 	if p.TrapLatencyNs < 0 || p.SMProcessNs < 0 || p.LFTUpdateNs < 0 {
 		return fmt.Errorf("sim: negative FaultPlan timing")
 	}
+	ivals := make([]faultIval, 0, len(p.Faults)+len(p.SwitchFaults)*t.M())
 	for i, f := range p.Faults {
 		if !t.ValidSwitch(topology.SwitchID(f.Switch)) {
 			return fmt.Errorf("sim: FaultPlan.Faults[%d] names invalid switch %d", i, f.Switch)
@@ -93,6 +138,60 @@ func (p FaultPlan) validate(t *topology.Tree) error {
 		}
 		if f.UpNs != 0 && f.UpNs <= f.DownNs {
 			return fmt.Errorf("sim: FaultPlan.Faults[%d] revives at %d, not after its failure at %d", i, f.UpNs, f.DownNs)
+		}
+		ivals = append(ivals, faultIval{
+			key: canonicalLink(t, f.Switch, f.Port), down: f.DownNs, up: f.UpNs,
+			desc: fmt.Sprintf("Faults[%d] (switch %d port %d)", i, f.Switch, f.Port),
+		})
+	}
+	for i, f := range p.SwitchFaults {
+		if !t.ValidSwitch(topology.SwitchID(f.Switch)) {
+			return fmt.Errorf("sim: FaultPlan.SwitchFaults[%d] names invalid switch %d", i, f.Switch)
+		}
+		if f.DownNs < 0 {
+			return fmt.Errorf("sim: FaultPlan.SwitchFaults[%d] has negative DownNs", i)
+		}
+		if f.UpNs != 0 && f.UpNs <= f.DownNs {
+			return fmt.Errorf("sim: FaultPlan.SwitchFaults[%d] revives at %d, not after its failure at %d", i, f.UpNs, f.DownNs)
+		}
+		for port := 0; port < t.M(); port++ {
+			ivals = append(ivals, faultIval{
+				key: canonicalLink(t, f.Switch, port), down: f.DownNs, up: f.UpNs,
+				desc: fmt.Sprintf("SwitchFaults[%d] (switch %d, its link at port %d)", i, f.Switch, port),
+			})
+		}
+	}
+	// Per physical link, outage intervals must be disjoint and in strict
+	// succession: a second event at the same instant, an overlap, or any
+	// event after a forever-down is ambiguous — the live link state would
+	// depend on event scheduling order.
+	sort.SliceStable(ivals, func(a, b int) bool {
+		if ivals[a].key != ivals[b].key {
+			if ivals[a].key[0] != ivals[b].key[0] {
+				return ivals[a].key[0] < ivals[b].key[0]
+			}
+			return ivals[a].key[1] < ivals[b].key[1]
+		}
+		return ivals[a].down < ivals[b].down
+	})
+	for i := 1; i < len(ivals); i++ {
+		prev, cur := ivals[i-1], ivals[i]
+		if prev.key != cur.key {
+			continue
+		}
+		switch {
+		case prev.down == cur.down:
+			return fmt.Errorf("sim: FaultPlan.%s and %s fail the same link at the same instant %d",
+				prev.desc, cur.desc, cur.down)
+		case prev.up == 0:
+			return fmt.Errorf("sim: FaultPlan.%s takes the link down forever at %d, but %s touches it again at %d",
+				prev.desc, prev.down, cur.desc, cur.down)
+		case cur.down < prev.up:
+			return fmt.Errorf("sim: FaultPlan.%s (down %d..%d) overlaps %s (down at %d) on the same link",
+				prev.desc, prev.down, prev.up, cur.desc, cur.down)
+		case cur.down == prev.up:
+			return fmt.Errorf("sim: FaultPlan.%s revives the link at %d, the same instant %s takes it down",
+				prev.desc, prev.up, cur.desc)
 		}
 	}
 	return nil
@@ -158,6 +257,20 @@ func (s *Sim) scheduleFaults() {
 		s.schedule(f.DownNs+plan.TrapLatencyNs, event{kind: evTrap})
 		if f.UpNs > 0 {
 			s.schedule(f.UpNs, event{kind: evLinkUp, a: f.Switch, b: int32(f.Port)})
+			s.schedule(f.UpNs+plan.TrapLatencyNs, event{kind: evTrap})
+		}
+	}
+	// A switch fault is its ports' link events landing atomically: every
+	// down (or up) at the same instant, ahead of the single trap they share.
+	for _, f := range plan.SwitchFaults {
+		for port := 0; port < s.tree.M(); port++ {
+			s.schedule(f.DownNs, event{kind: evLinkDown, a: f.Switch, b: int32(port)})
+		}
+		s.schedule(f.DownNs+plan.TrapLatencyNs, event{kind: evTrap})
+		if f.UpNs > 0 {
+			for port := 0; port < s.tree.M(); port++ {
+				s.schedule(f.UpNs, event{kind: evLinkUp, a: f.Switch, b: int32(port)})
+			}
 			s.schedule(f.UpNs+plan.TrapLatencyNs, event{kind: evTrap})
 		}
 	}

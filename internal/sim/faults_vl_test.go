@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mlid/internal/core"
+	"mlid/internal/traffic"
+)
+
+// TestDropPktCreditReturnAcrossVLs exercises dropPkt's credit return on 1, 2
+// and 4 virtual lanes (the fault suite's scenarios only run the 2-VL
+// default). A mid-run outage with revival flushes buffered packets on every
+// VL; if any held credit failed to return, the post-revival traffic would
+// trip the simulator's credit overflow/underflow checks (which abort the run
+// with an error) or strand capacity. ReceptionLink puts the node-attachment
+// links under credit flow control too, so their drops are covered as well.
+func TestDropPktCreditReturnAcrossVLs(t *testing.T) {
+	for _, vls := range []int{1, 2, 4} {
+		vls := vls
+		t.Run(fmt.Sprintf("%dVL", vls), func(t *testing.T) {
+			sn := mustSubnet(t, 4, 2, core.NewMLID())
+			cfg := Config{
+				Subnet:  sn,
+				Pattern: traffic.Uniform{Nodes: sn.Tree.Nodes()},
+				DataVLs: vls, OfferedLoad: 0.5, // high enough to keep buffers occupied
+				WarmupNs: 20_000, MeasureNs: 100_000,
+				Reception:        ReceptionLink,
+				SeriesIntervalNs: 5_000,
+				FaultPlan: &FaultPlan{
+					Faults: []LinkFault{
+						{Switch: 2, Port: 2, DownNs: 40_000, UpNs: 70_000},
+						// A node-attachment link outage: its drops return
+						// credits on the terminal link.
+						{Switch: 2, Port: 0, DownNs: 50_000, UpNs: 60_000},
+					},
+					Reselect: true,
+				},
+				Seed: 21,
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.DroppedTotal == 0 {
+				t.Fatal("no drops: the scenario exercises nothing")
+			}
+			if res.DroppedOnDeadLink == 0 {
+				t.Error("no buffered/flying victims: flushDead never ran, credits untested")
+			}
+			if got := res.TotalDelivered + res.DroppedTotal + res.InFlightAtEnd; got != res.TotalGenerated {
+				t.Errorf("conservation: delivered+dropped+inflight = %d, generated = %d",
+					got, res.TotalGenerated)
+			}
+			// Traffic must flow again after both revivals: deliveries in the
+			// final series bins prove the revived links still have credits.
+			var tailDelivered int64
+			for _, sp := range res.Series {
+				if sp.StartNs >= 100_000 {
+					tailDelivered += sp.Delivered
+				}
+			}
+			if tailDelivered == 0 {
+				t.Error("no deliveries after revival: a link lost credits for good")
+			}
+
+			res2, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res, res2) {
+				t.Error("run is not deterministic")
+			}
+
+			// The same scenario with the reliable transport adds the
+			// management VL on top (so 2, 3 and 5 lanes of credit state) and
+			// must drain to zero in flight with every loss explicit.
+			cfg.Transport = &TransportConfig{DrainNs: 500_000}
+			rt, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := rt.TotalDelivered + rt.Failed + rt.InFlightAtEnd; got != rt.TotalGenerated {
+				t.Errorf("transport conservation: delivered+failed+inflight = %d, generated = %d",
+					got, rt.TotalGenerated)
+			}
+			if rt.InFlightAtEnd != 0 {
+				t.Errorf("transport InFlightAtEnd = %d, want 0", rt.InFlightAtEnd)
+			}
+		})
+	}
+}

@@ -27,6 +27,15 @@ type pkt struct {
 	upstream *outPort
 	// trace records the packet's timeline when tracing is on.
 	trace *PacketTrace
+
+	// Reliable-transport fields (Config.Transport). ctrl distinguishes data
+	// from ACK/NAK control packets; cum/sack are the control packet's
+	// cumulative and selective acknowledgments; rexmit marks a
+	// retransmission copy.
+	ctrl   uint8
+	cum    uint32
+	sack   uint32
+	rexmit bool
 }
 
 // pktFIFO is a packet queue drained by head index so its backing array is
@@ -169,6 +178,11 @@ type Sim struct {
 	seriesLat      []float64
 	seriesDropped  []int64
 	seriesReroutes []int64
+	seriesRexmit   []int64
+	seriesFailed   []int64
+
+	// reliable-transport state (Config.Transport); nil when disabled.
+	transport *transportRun
 
 	// live-fault state and counters (Config.FaultPlan).
 	faults              faultRun
@@ -201,7 +215,14 @@ func Run(cfg Config) (Result, error) {
 		s.schedule(genTimeAt(n.genPhase, ia, 0), event{kind: evGenerate, a: int32(i)})
 	}
 
-	events := s.runUntil(s.end)
+	// With transport on, the run drains past the generation horizon so
+	// outstanding retransmissions resolve into a delivery or a Failed count;
+	// without it the horizon is the classic measurement end.
+	horizon := s.end
+	if s.transport != nil {
+		horizon += s.transport.cfg.DrainNs
+	}
+	events := s.runUntil(horizon)
 	if s.err != nil {
 		return Result{}, s.err
 	}
@@ -241,13 +262,27 @@ func Run(cfg Config) (Result, error) {
 			}
 		}
 	}
+	res.P999LatencyNs = s.lat.Percentile(0.999)
+	if t := s.transport; t != nil {
+		res.Retransmits = t.retransmits
+		res.Failed = t.failed
+		res.DupDeliveries = t.dupDeliveries
+		res.AcksSent = t.acksSent
+		res.NaksSent = t.naksSent
+		res.CtrlBytesSent = t.ctrlBytes
+		res.LastRecoveredNs = t.lastRecoveredNs
+		res.DrainedNs = t.cfg.DrainNs
+		// Dropped copies are retried, not lost: the conservation identity is
+		// generated = delivered + failed + in-flight.
+		res.InFlightAtEnd = s.totalGenerated - s.totalDelivered - t.failed
+	}
 	res.Accepted = float64(s.deliveredBytesWindow) / float64(cfg.MeasureNs) / float64(s.tree.Nodes())
 	res.Saturated = res.Accepted < 0.98*cfg.OfferedLoad
 	var sum float64
 	var links int
 	for _, st := range s.switches {
 		for _, op := range st.out {
-			u := float64(op.busyAccum) / float64(s.end)
+			u := float64(op.busyAccum) / float64(horizon)
 			if u > res.MaxLinkUtilization {
 				res.MaxLinkUtilization = u
 			}
@@ -256,7 +291,7 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	for _, n := range s.nodes {
-		if u := float64(n.out.busyAccum) / float64(s.end); u > res.MaxLinkUtilization {
+		if u := float64(n.out.busyAccum) / float64(horizon); u > res.MaxLinkUtilization {
 			res.MaxLinkUtilization = u
 		}
 	}
@@ -267,11 +302,13 @@ func Run(cfg Config) (Result, error) {
 	if iv := cfg.SeriesIntervalNs; iv > 0 {
 		for bin := range s.seriesBytes {
 			sp := SeriesPoint{
-				StartNs:   Time(bin) * iv,
-				Accepted:  float64(s.seriesBytes[bin]) / float64(iv) / float64(s.tree.Nodes()),
-				Delivered: s.seriesCount[bin],
-				Dropped:   s.seriesDropped[bin],
-				Reroutes:  s.seriesReroutes[bin],
+				StartNs:     Time(bin) * iv,
+				Accepted:    float64(s.seriesBytes[bin]) / float64(iv) / float64(s.tree.Nodes()),
+				Delivered:   s.seriesCount[bin],
+				Dropped:     s.seriesDropped[bin],
+				Reroutes:    s.seriesReroutes[bin],
+				Retransmits: s.seriesRexmit[bin],
+				Failed:      s.seriesFailed[bin],
 			}
 			if s.seriesCount[bin] > 0 {
 				sp.MeanLatencyNs = s.seriesLat[bin] / float64(s.seriesCount[bin])
@@ -288,7 +325,7 @@ func Run(cfg Config) (Result, error) {
 				res.PortStats = append(res.PortStats, PortStat{
 					Switch: int32(swi), Port: port,
 					BusyNs: op.busyAccum, Packets: op.pktCount,
-					Utilization: float64(op.busyAccum) / float64(s.end),
+					Utilization: float64(op.busyAccum) / float64(horizon),
 				})
 			}
 		}
@@ -299,7 +336,7 @@ func Run(cfg Config) (Result, error) {
 			res.PortStats = append(res.PortStats, PortStat{
 				IsNode: true, Node: int32(ni),
 				BusyNs: n.out.busyAccum, Packets: n.out.pktCount,
-				Utilization: float64(n.out.busyAccum) / float64(s.end),
+				Utilization: float64(n.out.busyAccum) / float64(horizon),
 			})
 		}
 		sort.Slice(res.PortStats, func(i, j int) bool {
@@ -331,7 +368,14 @@ func build(cfg Config) *Sim {
 		nodes:    make([]*nodeState, t.Nodes()),
 		serPkt:   Time(cfg.PacketSize) * cfg.NsPerByte,
 	}
-	s.engine.heapOnly = engineHeapOnly
+	s.engine.heapOnly = engineHeapOnly || cfg.HeapOnlyScheduler
+	// The reliable transport claims one management VL for ACK/NAK traffic on
+	// top of the data VLs; without it the port arrays keep their classic
+	// shape, byte for byte.
+	vls := cfg.DataVLs
+	if cfg.Transport != nil {
+		vls++
+	}
 	for sw := 0; sw < t.Switches(); sw++ {
 		lft := cfg.Subnet.LFTs[sw]
 		if cfg.FaultPlan != nil {
@@ -350,20 +394,29 @@ func build(cfg Config) *Sim {
 			case topology.KindSwitch:
 				dst = rxRef{sw: int32(ref.Switch), port: ref.Port}
 			}
-			st.out[k] = newOutPort(dst, cfg.DataVLs, cfg.BufPackets, true, false)
+			st.out[k] = newOutPort(dst, vls, cfg.BufPackets, true, false)
 		}
 		s.switches[sw] = st
 	}
 	for p := 0; p < t.Nodes(); p++ {
 		sw, port := t.NodeAttachment(topology.NodeID(p))
 		s.nodes[p] = &nodeState{
-			out: newOutPort(rxRef{sw: int32(sw), port: port}, cfg.DataVLs, cfg.BufPackets, false, true),
+			out: newOutPort(rxRef{sw: int32(sw), port: port}, vls, cfg.BufPackets, false, true),
 			rng: rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(p))),
 		}
 	}
 	if n := t.Nodes(); n <= 4096 {
 		s.flowSeq = make([]uint32, n*n)
 		s.flowHigh = make([]uint32, n*n)
+	}
+	if cfg.Transport != nil {
+		n := t.Nodes()
+		s.transport = &transportRun{
+			cfg:    *cfg.Transport,
+			mgmtVL: uint8(cfg.DataVLs), // last VL index: the one claimed above
+			tx:     make([]txFlow, n*n),
+			rx:     make([]rxFlow, n*n),
+		}
 	}
 	return s
 }
@@ -420,6 +473,8 @@ func (s *Sim) dispatch(ev event) {
 		s.smTrap()
 	case evLFTUpdate:
 		s.applyLFTUpdate(int(ev.a))
+	case evRexmit:
+		s.rexmitTimer(ev.a, ev.b)
 	default:
 		s.fail(fmt.Errorf("sim: unknown event kind %d (engine bug)", ev.kind))
 	}
@@ -481,6 +536,11 @@ func (s *Sim) generate(node int32) {
 			DLID: uint16(dlid), VL: uint8(vl), GenNs: s.now,
 		}
 		s.traces = append(s.traces, p.trace)
+	}
+	if s.transport != nil {
+		// Track before injecting: a packet dropped at a dead source link is
+		// still unacknowledged and will be retried by the flow's timer.
+		s.txTrack(node, p)
 	}
 	s.requestTransfer(n.out, p)
 
@@ -763,15 +823,28 @@ func (s *Sim) nodeArrive(node int32, p *pkt) {
 }
 
 // deliver finalizes a packet at its destination: correctness check,
+// transport processing (ACK/NAK handling, duplicate suppression),
 // ordering check, and window statistics.
 func (s *Sim) deliver(node int32, p *pkt, tail Time) {
-	s.totalDelivered++
-	s.noteDelivery(tail)
 	if p.Dst != node {
 		s.fail(fmt.Errorf("sim: packet %d for node %d delivered to node %d (DLID %d)",
 			p.Seq, p.Dst, node, p.DLID))
 		return
 	}
+	if s.transport != nil {
+		if p.ctrl != ctrlData {
+			s.ctrlArrive(node, p)
+			return
+		}
+		if !s.rxAccept(node, p) {
+			return // duplicate: counted, not delivered again
+		}
+		if p.rexmit {
+			s.transport.lastRecoveredNs = tail
+		}
+	}
+	s.totalDelivered++
+	s.noteDelivery(tail)
 	if s.flowHigh != nil {
 		idx := int(p.Src)*s.tree.Nodes() + int(p.Dst)
 		if p.flowSeq < s.flowHigh[idx] {
@@ -814,6 +887,8 @@ func (s *Sim) seriesBin(t Time) int {
 		s.seriesLat = append(s.seriesLat, 0)
 		s.seriesDropped = append(s.seriesDropped, 0)
 		s.seriesReroutes = append(s.seriesReroutes, 0)
+		s.seriesRexmit = append(s.seriesRexmit, 0)
+		s.seriesFailed = append(s.seriesFailed, 0)
 	}
 	return bin
 }

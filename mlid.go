@@ -305,8 +305,15 @@ type (
 	FaultPlan = sim.FaultPlan
 	// LinkFault is one scheduled bidirectional link outage.
 	LinkFault = sim.LinkFault
+	// SwitchFault is one scheduled whole-switch outage: every port goes
+	// down atomically at the same instant.
+	SwitchFault = sim.SwitchFault
 	// SimSeriesPoint is one time bin of a run's delivery/drop series.
 	SimSeriesPoint = sim.SeriesPoint
+	// TransportConfig enables the reliable end-to-end transport
+	// (SimConfig.Transport): PSN sequencing, ACK/NAK on a management VL,
+	// and timeout retransmission with exponential backoff.
+	TransportConfig = sim.TransportConfig
 )
 
 // Batch (closed-workload) simulation types.
@@ -402,6 +409,35 @@ func FormatRecovery(rows []EvalRecoveryRow) string { return experiment.FormatRec
 
 // RecoveryCSV renders recovery rows in long form.
 func RecoveryCSV(rows []EvalRecoveryRow) string { return experiment.RecoveryCSV(rows) }
+
+// Chaos-campaign types: seeded link-flap and switch-kill schedules run with
+// the reliable transport on, SLID versus MLID on identical schedules (see
+// SimConfig.Transport and EXPERIMENTS.md).
+type (
+	// EvalChaosSpec configures a seeded chaos campaign.
+	EvalChaosSpec = experiment.ChaosSpec
+	// EvalChaosRow is one (scheme, fault rate) campaign outcome.
+	EvalChaosRow = experiment.ChaosRow
+)
+
+// EvalChaosSpecDefault returns the full-fidelity chaos campaign spec.
+func EvalChaosSpecDefault() EvalChaosSpec { return experiment.ChaosStudySpec() }
+
+// EvalChaosSpecQuick returns the reduced-cost chaos campaign spec.
+func EvalChaosSpecQuick() EvalChaosSpec { return experiment.QuickChaosSpec() }
+
+// EvalChaosStudy runs the campaign for both schemes across the spec's fault
+// rates, each pair on an identical seeded schedule, and verifies packet
+// conservation (generated = delivered + failed + in flight) for every run.
+func EvalChaosStudy(spec EvalChaosSpec) ([]EvalChaosRow, error) {
+	return experiment.ChaosStudy(spec)
+}
+
+// FormatChaos renders chaos rows as a markdown table.
+func FormatChaos(rows []EvalChaosRow) string { return experiment.FormatChaos(rows) }
+
+// ChaosCSV renders chaos rows in long form.
+func ChaosCSV(rows []EvalChaosRow) string { return experiment.ChaosCSV(rows) }
 
 // Observation is one of the paper's evaluation claims checked against
 // measured figures.
