@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test ci bench bench-engine vet lint lint-fix race soak
+.PHONY: build test ci bench bench-json bench-engine vet lint lint-fix race soak
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,17 @@ ci: build vet lint test race soak
 # bench regenerates the figure-level benchmarks with allocation counts.
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkFig' -benchmem -benchtime 1x .
+
+# bench-json runs the figure benchmarks and records ns/op and allocs/op as
+# committed JSON (BENCH_$(BENCH_PR).json), so perf gates diff against a file
+# instead of a number in a commit message. The raw text lands in bench.out
+# for inspection; only the JSON is meant to be committed.
+BENCH_PR ?= 5
+bench-json:
+	$(GO) test -run xxx -bench 'BenchmarkFig' -benchmem -benchtime 1x . | tee bench.out
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_$(BENCH_PR).json
+	@rm -f bench.out
+	@echo wrote BENCH_$(BENCH_PR).json
 
 # bench-engine runs the scheduler micro-benchmarks (ns/event, allocs/op).
 bench-engine:

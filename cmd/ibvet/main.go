@@ -25,6 +25,7 @@ import (
 	"mlid/internal/lint/analysis"
 	"mlid/internal/lint/driver"
 	"mlid/internal/lint/goldendrift"
+	"mlid/internal/lint/hotpath"
 	"mlid/internal/lint/load"
 	"mlid/internal/lint/maporder"
 	"mlid/internal/lint/pktpool"
@@ -36,6 +37,7 @@ var analyzers = []*analysis.Analyzer{
 	simdeterminism.Analyzer,
 	maporder.Analyzer,
 	pktpool.Analyzer,
+	hotpath.Analyzer,
 	goldendrift.Analyzer,
 }
 

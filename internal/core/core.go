@@ -132,7 +132,16 @@ func downPort(t *topology.Tree, sw topology.SwitchID, level int, dst topology.No
 	if t.N() == 1 {
 		return int(dst), true // single-switch fabric: every node is downward
 	}
-	d, _ := t.SwitchDigits(sw)
+	// Stack buffer: downPort runs once per (switch, LID) pair during table
+	// assignment, and a heap slice per call dominated the Configure profile.
+	var buf [16]int
+	d := buf[:]
+	if n := t.N() - 1; n <= len(buf) {
+		d = buf[:n]
+	} else {
+		d = make([]int, n)
+	}
+	t.SwitchDigitsInto(sw, d)
 	for i := 0; i < level; i++ {
 		if d[i] != t.NodeDigit(dst, i) {
 			return 0, false

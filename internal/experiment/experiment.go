@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -234,13 +235,38 @@ func (f FigureSpec) Run() (Figure, error) {
 	close(jobCh)
 	wg.Wait()
 	close(errCh)
-	if err := <-errCh; err != nil {
+	if err := joinWorkerErrors(errCh); err != nil {
 		return Figure{}, err
 	}
 	for key, results := range acc {
 		curves[key[0]].Points[key[1]] = meanPoint(results)
 	}
 	return Figure{Spec: f, Curves: curves}, nil
+}
+
+// joinWorkerErrors drains a closed error channel and joins every distinct
+// failure. Workers keep pulling jobs after an error, so several load points
+// can fail in one sweep; reporting only the first (the old behavior) hid the
+// rest, and which one arrived first depended on goroutine scheduling. Errors
+// are deduplicated by message and sorted so the joined error is deterministic.
+func joinWorkerErrors(errCh <-chan error) error {
+	seen := map[string]bool{}
+	var msgs []string
+	for err := range errCh {
+		if msg := err.Error(); !seen[msg] {
+			seen[msg] = true
+			msgs = append(msgs, msg)
+		}
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	sort.Strings(msgs)
+	errs := make([]error, len(msgs))
+	for i, msg := range msgs {
+		errs[i] = errors.New(msg)
+	}
+	return errors.Join(errs...)
 }
 
 // meanPoint averages replica measurements; the point is flagged saturated

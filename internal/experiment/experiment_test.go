@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -232,5 +233,31 @@ func TestReplicasAveraging(t *testing.T) {
 	}
 	if one.Curves[0].Points[0].MeanLatencyNs == p.MeanLatencyNs {
 		t.Log("averaged equals single run (possible but unlikely); not failing")
+	}
+}
+
+func TestJoinWorkerErrors(t *testing.T) {
+	empty := make(chan error, 1)
+	close(empty)
+	if err := joinWorkerErrors(empty); err != nil {
+		t.Fatalf("empty channel: %v", err)
+	}
+
+	// Three failures from two distinct causes, delivered out of order: the
+	// join must surface both, once each, in sorted order — not just whichever
+	// worker lost the race.
+	ch := make(chan error, 3)
+	ch <- errors.New("sim: vl out of range")
+	ch <- errors.New("sim: bad load 2.0")
+	ch <- errors.New("sim: vl out of range")
+	close(ch)
+	err := joinWorkerErrors(ch)
+	if err == nil {
+		t.Fatal("joined error is nil")
+	}
+	got := err.Error()
+	want := "sim: bad load 2.0\nsim: vl out of range"
+	if got != want {
+		t.Fatalf("joined error:\n%q\nwant\n%q", got, want)
 	}
 }

@@ -86,6 +86,18 @@ func (t *LFT) Lookup(lid LID) (uint8, error) {
 	return p, nil
 }
 
+// Port returns the raw entry for lid without error construction: PortNone
+// for unrouted, out-of-range, or reserved LIDs. It exists for the
+// simulator's forwarding-table compiler, which scans every (switch, DLID)
+// pair and must not allocate per miss; interactive callers should prefer
+// Lookup and its diagnostics.
+func (t *LFT) Port(lid LID) uint8 {
+	if lid == 0 || int(lid) >= len(t.ports) {
+		return PortNone
+	}
+	return t.ports[lid]
+}
+
 // Clone returns an independent copy of the table. The live simulator clones
 // every switch's LFT when fault injection is configured, so timed table
 // updates never mutate the caller's subnet.

@@ -1,0 +1,11 @@
+package hotpath
+
+import (
+	"testing"
+
+	"mlid/internal/lint/linttest"
+)
+
+func TestHotPath(t *testing.T) {
+	linttest.Run(t, Analyzer, "sim")
+}

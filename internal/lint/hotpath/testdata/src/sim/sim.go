@@ -1,0 +1,65 @@
+// Package sim is a hotpath testdata fixture: its leaf name matches the
+// simulator package, so per-packet functions named in hotFuncs must stay free
+// of sorting, map construction and closure allocation.
+package sim
+
+import "sort"
+
+type pkt struct {
+	dst int
+	vl  int
+}
+
+type Sim struct {
+	queues  [][]pkt
+	credits []int32
+	seen    map[int]bool
+}
+
+// route is hot: every construct below is a violation.
+func (s *Sim) route(p *pkt) int {
+	order := []int{p.dst, p.vl}
+	sort.Ints(order) // want `call to sort\.Ints in hot-path route`
+	visited := make(map[int]bool) // want `make\(map\) in hot-path route`
+	visited[p.dst] = true
+	weights := map[int]float64{p.vl: 1} // want `map literal in hot-path route`
+	_ = weights
+	pick := func(q []pkt) int { // want `closure allocation in hot-path route`
+		return len(q)
+	}
+	return pick(s.queues[p.vl])
+}
+
+// kick is hot; a sort hidden inside a closure is two findings, not one.
+func (s *Sim) kick(pid int32) {
+	defer func() { // want `closure allocation in hot-path kick`
+		sort.Slice(s.credits, func(i, j int) bool { return s.credits[i] < s.credits[j] }) // want `call to sort\.Slice in hot-path kick` `closure allocation in hot-path kick`
+	}()
+}
+
+// deliver is hot, but reading an existing map field is not construction: only
+// make(map...) and literals are flagged. (The field still costs a hash per
+// access — the analyzer leaves pre-existing state shapes to review.)
+func (s *Sim) deliver(p *pkt) bool {
+	return s.seen[p.dst]
+}
+
+// build is cold: identical constructs are allowed off the per-packet path.
+func (s *Sim) build(n int) {
+	s.seen = make(map[int]bool, n)
+	labels := map[string]int{"a": 1}
+	keys := []int{3, 1, 2}
+	sort.Ints(keys)
+	each := func(k int) { s.seen[k] = true }
+	for _, k := range keys {
+		each(k + len(labels))
+	}
+}
+
+// transmit exercises the qualifier test: a local variable named sort must
+// not be mistaken for the package.
+func (s *Sim) transmit(pid int32, vl int) {
+	type sorter struct{}
+	var sort sorter
+	_ = sort
+}

@@ -145,7 +145,7 @@ func (batchPattern) Dest(int, *rand.Rand) int {
 // enqueueBatchPacket creates one packet at time zero and injects it through
 // the node's source queue.
 func (s *Sim) enqueueBatchPacket(src, dst topology.NodeID) {
-	n := s.nodes[src]
+	n := &s.nodes[src]
 	dlid := s.selectDLID(n, src, dst)
 	s.totalGenerated++
 	var vl int
@@ -166,7 +166,7 @@ func (s *Sim) enqueueBatchPacket(src, dst topology.NodeID) {
 		Dst:     int32(dst),
 		GenTime: 0,
 	}
-	s.requestTransfer(n.out, p)
+	s.requestTransfer(s.nodePid(int32(src)), p)
 }
 
 // AllToAll builds the classic staggered all-to-all personalized exchange:

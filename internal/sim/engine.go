@@ -27,6 +27,8 @@
 // engine internals".
 package sim
 
+import "math/bits"
+
 // Time is simulated time in nanoseconds.
 type Time = int64
 
@@ -47,11 +49,14 @@ const (
 	evNodeArrive
 	// evDeliver finalizes packet p at endnode a (tail fully received).
 	evDeliver
-	// evCredit returns one VL-b credit to transmitter op.
+	// evCredit returns one VL-b credit to the transmitting port with global
+	// port id a.
 	evCredit
-	// evKick re-arbitrates output port op when its link frees.
+	// evKick re-arbitrates the output port with global port id a when its
+	// link frees.
 	evKick
-	// evRelease frees a VL-b output-buffer slot of op (tail left the switch).
+	// evRelease frees a VL-b output-buffer slot of the port with global port
+	// id a (tail left the switch).
 	evRelease
 	// evLinkDown kills the bidirectional link at switch a, abstract port b
 	// (Config.FaultPlan).
@@ -71,14 +76,15 @@ const (
 )
 
 // event is one scheduled typed record. The argument fields are a union over
-// the kinds: a/b carry small indices (node, switch, port, VL) and op/p carry
-// the object handles. Keeping the record flat — no closure, no interface —
-// is what makes scheduling allocation-free.
+// the kinds: a/b carry small indices (node, switch, global port id, VL) and
+// pi carries the packet's slab index (see Sim.pktAt). Keeping the record flat
+// and pointer-free — no closure, no interface, no *pkt — makes scheduling
+// allocation-free, spares every queue store its write barrier, and leaves the
+// calendar slab and heap backing arrays invisible to the garbage collector.
 type event struct {
 	t    Time
 	seq  uint64
-	op   *outPort
-	p    *pkt
+	pi   int32
 	a    int32
 	b    int32
 	kind evKind
@@ -94,13 +100,22 @@ func (ev event) less(o event) bool {
 }
 
 // Calendar geometry: 1 ns ticks, 2^calBits buckets. The window covers every
-// deadline the default model produces (fly 10 ns, route 100 ns, 256 B
-// serialization); only far-future deadlines — low-load interarrivals, jumbo
-// packet serializations — fall through to the heap.
+// deadline the default model's per-hop machinery produces (fly 10 ns, route
+// 100 ns, 256 B serialization); far-future deadlines — open-loop
+// interarrivals at low load, retransmit timers, jumbo packet serializations —
+// fall through to the heap. The window is sized so the whole calendar (bucket
+// headers plus the event slab) stays cache-resident: which structure holds an
+// event never affects pop order, which is the global (t, seq) minimum.
 const (
-	calBits = 12
+	calBits = 9
 	calSize = 1 << calBits
 	calMask = calSize - 1
+	// calSlabCap is the initial per-bucket capacity, carved from one shared
+	// slab when the calendar materializes. Growing 4096 buckets individually
+	// from nil dominated the scheduler's allocation profile; a bucket deeper
+	// than the slab cap reallocates off-slab once and keeps the larger
+	// backing array for the rest of the run.
+	calSlabCap = 16
 )
 
 // calBucket is one 1 ns tick of the calendar: a FIFO drained by head index so
@@ -130,8 +145,12 @@ type engine struct {
 	// scanFrom caches the bucket scan cursor: no calendar event exists in
 	// [now, scanFrom).
 	scanFrom Time
-	buckets  []calBucket
-	far      eventHeap
+	// occ is a bitmap over the calendar's buckets — bit b set iff bucket b
+	// holds a pending event — so finding the next non-empty bucket is a word
+	// scan of one cache line instead of probing bucket headers tick by tick.
+	occ     [calSize / 64]uint64
+	buckets []calBucket
+	far     eventHeap
 }
 
 // schedule enqueues ev at time t (clamped to >= now).
@@ -145,9 +164,15 @@ func (e *engine) schedule(t Time, ev event) {
 	if !e.heapOnly && t-e.now < calSize {
 		if e.buckets == nil {
 			e.buckets = make([]calBucket, calSize)
+			slab := make([]event, calSize*calSlabCap)
+			for i := range e.buckets {
+				e.buckets[i].evs = slab[i*calSlabCap : i*calSlabCap : (i+1)*calSlabCap]
+			}
 		}
-		b := &e.buckets[int(t&calMask)]
+		bi := int(t & calMask)
+		b := &e.buckets[bi]
 		b.evs = append(b.evs, ev)
+		e.occ[bi>>6] |= 1 << uint(bi&63)
 		e.calCount++
 		if t < e.scanFrom {
 			e.scanFrom = t
@@ -164,20 +189,22 @@ func (e *engine) pop(end Time) (event, bool) {
 	haveCal := e.calCount > 0
 	if haveCal {
 		// Find the earliest non-empty bucket. All calendar events sit in
-		// [now, now+calSize) and each tick owns one bucket, so the first hit
-		// scanning forward is the calendar minimum; the cursor makes the
-		// scan O(1) amortized over a run.
+		// [now, now+calSize) and each tick owns one bucket, so the nearest
+		// set occupancy bit (in circular order from the cursor) is the
+		// calendar minimum.
 		t := e.scanFrom
 		if t < e.now {
 			t = e.now
 		}
-		for {
-			b := &e.buckets[int(t&calMask)]
-			if b.head < len(b.evs) {
-				break
-			}
-			t++
+		sb := int(t & calMask)
+		w := sb >> 6
+		found := e.occ[w] &^ (1<<uint(sb&63) - 1)
+		for found == 0 {
+			w = (w + 1) % (calSize / 64)
+			found = e.occ[w]
 		}
+		bi := w<<6 + bits.TrailingZeros64(found)
+		t += Time((bi - sb) & calMask)
 		e.scanFrom = t
 		calT = t
 	}
@@ -190,13 +217,14 @@ func (e *engine) pop(end Time) (event, bool) {
 		if calT > end {
 			return event{}, false
 		}
-		b := &e.buckets[int(calT&calMask)]
+		bi := int(calT & calMask)
+		b := &e.buckets[bi]
 		ev := b.evs[b.head]
-		b.evs[b.head] = event{} // drop op/p references
 		b.head++
 		if b.head == len(b.evs) {
 			b.evs = b.evs[:0]
 			b.head = 0
+			e.occ[bi>>6] &^= 1 << uint(bi&63)
 		}
 		e.calCount--
 		e.now = calT
@@ -240,7 +268,6 @@ func (h *eventHeap) pop() event {
 	top := hh[0]
 	n := len(hh) - 1
 	hh[0] = hh[n]
-	hh[n] = event{} // drop op/p references
 	*h = hh[:n]
 	hh = hh[:n]
 	i := 0

@@ -276,17 +276,19 @@ func (s *Sim) scheduleFaults() {
 	}
 }
 
-// linkEnds returns the transmitting out-ports of both directions of the link
-// at (sw, port): the switch's own out-port plus the peer's (switch or
-// endnode source).
-func (s *Sim) linkEnds(sw int32, port int) (a, b *outPort) {
-	a = s.switches[sw].out[port]
+// linkEnds returns the global port ids of the transmitting ports of both
+// directions of the link at (sw, port): the switch's own out-port plus the
+// peer's (switch or endnode source). noPort when a direction has no
+// transmitter.
+func (s *Sim) linkEnds(sw int32, port int) (a, b int32) {
+	a = sw*int32(s.m) + int32(port)
+	b = noPort
 	ref := s.tree.SwitchNeighbor(topology.SwitchID(sw), port)
 	switch ref.Kind {
 	case topology.KindSwitch:
-		b = s.switches[ref.Switch].out[ref.Port]
+		b = int32(ref.Switch)*int32(s.m) + int32(ref.Port)
 	case topology.KindNode:
-		b = s.nodes[ref.Node].out
+		b = s.nodePid(int32(ref.Node))
 	}
 	return a, b
 }
@@ -296,12 +298,12 @@ func (s *Sim) linkEnds(sw int32, port int) (a, b *outPort) {
 // consistent), and the link is recorded for the next SM sweep.
 func (s *Sim) linkDown(sw int32, port int) {
 	a, b := s.linkEnds(sw, port)
-	for _, op := range []*outPort{a, b} {
-		if op == nil || op.dead {
+	for _, pid := range [2]int32{a, b} {
+		if pid < 0 || s.ports[pid].dead {
 			continue
 		}
-		op.dead = true
-		s.flushDead(op)
+		s.ports[pid].dead = true
+		s.flushDead(pid)
 	}
 	for _, e := range s.faults.deadLinks {
 		if e == [2]int32{sw, int32(port)} {
@@ -319,9 +321,9 @@ func (s *Sim) linkDown(sw int32, port int) {
 // through dropPkt's credit return, so the port restarts with full credits.
 func (s *Sim) linkUp(sw int32, port int) {
 	a, b := s.linkEnds(sw, port)
-	for _, op := range []*outPort{a, b} {
-		if op != nil {
-			op.dead = false
+	for _, pid := range [2]int32{a, b} {
+		if pid >= 0 {
+			s.ports[pid].dead = false
 		}
 	}
 	for i, e := range s.faults.deadLinks {
@@ -338,19 +340,21 @@ func (s *Sim) linkUp(sw int32, port int) {
 // serialization keeps its pending evRelease, which settles the remaining
 // occupancy; the packet itself dies at head arrival via the upstream-dead
 // check.
-func (s *Sim) flushDead(op *outPort) {
-	for vl := range op.queue {
-		for op.queue[vl].len() > 0 {
-			p := op.queue[vl].popFront()
-			op.occupancy[vl]--
+func (s *Sim) flushDead(pid int32) {
+	base := int(pid) * s.vls
+	for vl := 0; vl < s.vls; vl++ {
+		i := base + vl
+		for s.queues[i].len() > 0 {
+			p := s.queues[i].popFront()
+			s.cv[i].occupancy--
 			s.droppedOnDeadLink++
 			s.dropPkt(p)
 		}
-		for _, p := range op.waiting[vl] {
+		for _, p := range s.waiting[i] {
 			s.droppedOnDeadLink++
 			s.dropPkt(p)
 		}
-		op.waiting[vl] = op.waiting[vl][:0]
+		s.waiting[i] = s.waiting[i][:0]
 	}
 }
 
@@ -370,13 +374,13 @@ func (s *Sim) dropPkt(p *pkt) {
 	if p.trace != nil {
 		p.trace.DroppedNs = s.now
 	}
-	if p.upstream != nil {
+	if p.upstream >= 0 {
 		free := p.arrival + s.serPkt
 		if s.now > free {
 			free = s.now
 		}
-		s.schedule(free+s.cfg.FlyNs, event{kind: evCredit, op: p.upstream, b: int32(p.VL)})
-		p.upstream = nil
+		s.schedule(free+s.cfg.FlyNs, event{kind: evCredit, a: p.upstream, b: int32(p.VL)})
+		p.upstream = noPort
 	}
 	s.freePkt(p)
 }
@@ -407,13 +411,13 @@ func (s *Sim) smTrap() {
 	}
 	s.faults.lastBroken = len(broken)
 	if s.faults.shadow == nil {
-		s.faults.shadow = make([]*ib.LFT, len(s.switches))
-		for i, st := range s.switches {
-			s.faults.shadow[i] = st.lft.Clone()
+		s.faults.shadow = make([]*ib.LFT, len(s.lfts))
+		for i, lft := range s.lfts {
+			s.faults.shadow[i] = lft.Clone()
 		}
 	}
 	staged := 0
-	for sw := range s.switches {
+	for sw := range s.lfts {
 		want := scratch.LFTs[sw].Entries()
 		have := s.faults.shadow[sw].Entries()
 		var delta []lftDelta
@@ -444,14 +448,18 @@ func (s *Sim) smTrap() {
 
 // applyLFTUpdate rewrites one switch's live forwarding table with a staged
 // delta — the timed, per-switch (non-atomic) table update of a real SM sweep.
+// Each rewritten entry is recompiled into the fused forwarding row, so the
+// hot path keeps reading the compiled table through fault recovery.
 func (s *Sim) applyLFTUpdate(idx int) {
 	u := s.faults.staged[idx]
-	lft := s.switches[u.sw].lft
+	lft := s.lfts[u.sw]
+	fwdBase := int(u.sw) * s.lftSize
 	for _, d := range u.entries {
 		if err := lft.Set(d.lid, d.port); err != nil {
 			s.fail(fmt.Errorf("sim: applying LFT update to switch %d: %w", u.sw, err))
 			return
 		}
+		s.setFwd(fwdBase+int(d.lid), s.compileEntry(u.sw, d.port))
 	}
 	s.lftUpdates++
 	s.lftEntriesRewritten += int64(len(u.entries))
@@ -496,32 +504,32 @@ func (s *Sim) usableMask(src, dst topology.NodeID) uint64 {
 	return mask
 }
 
-// pathAlive walks the live forwarding tables from src toward dlid and
-// reports whether the route reaches dst without crossing a dead link.
+// pathAlive walks the compiled live forwarding rows from src toward dlid and
+// reports whether the route reaches dst without crossing a dead link. The
+// compiled table mirrors every applied update (applyLFTUpdate recompiles),
+// so this sees exactly what the forwarding hot path sees.
 func (s *Sim) pathAlive(src topology.NodeID, dlid ib.LID, dst topology.NodeID) bool {
-	if s.nodes[src].out.dead {
+	if s.ports[s.nodePid(int32(src))].dead {
+		return false
+	}
+	if int(dlid) >= s.lftSize {
 		return false
 	}
 	sw, _ := s.tree.NodeAttachment(src)
 	maxHops := 2*s.tree.N() + 1
 	for hop := 0; hop <= maxHops; hop++ {
-		st := s.switches[sw]
-		phys, err := st.lft.Lookup(dlid)
-		if err != nil {
+		pid := s.fwdAt(int(sw)*s.lftSize + int(dlid))
+		if pid < 0 {
 			return false
 		}
-		out := int(phys) - 1
-		if out < 0 || out >= len(st.out) {
+		pt := &s.ports[pid]
+		if pt.dead {
 			return false
 		}
-		op := st.out[out]
-		if op.dead {
-			return false
+		if pt.destNode >= 0 {
+			return topology.NodeID(pt.destNode) == dst
 		}
-		if op.dest.isNode {
-			return topology.NodeID(op.dest.node) == dst
-		}
-		sw = topology.SwitchID(op.dest.sw)
+		sw = topology.SwitchID(pt.destSw)
 	}
 	return false
 }

@@ -11,20 +11,38 @@ import (
 	"mlid/internal/topology"
 )
 
+// noPort is the nil value of a global port id (see Sim.ports): a packet not
+// yet transmitted by any port, or a compiled forwarding entry with no route.
+const noPort int32 = -1
+
+// pktSlabSize is how many packets one backing-array allocation provides to
+// newPkt; the free list recycles them for the rest of the run. The size is a
+// power of two so a packet's stable slab index (pkt.idx) decomposes into
+// (slab, offset) by shift and mask in pktAt.
+const (
+	pktSlabShift = 8
+	pktSlabSize  = 1 << pktSlabShift
+)
+
 // pkt is an in-flight packet plus per-hop bookkeeping.
 type pkt struct {
 	ib.Packet
+	// idx is the packet's stable slab index (see Sim.pktAt): events reference
+	// packets by this index instead of by pointer, keeping the scheduler's
+	// queues pointer-free. Assigned once when the slab is carved; newPkt
+	// preserves it across recycling.
+	idx int32
 	// flowSeq is the packet's generation index within its (src, dst) flow.
 	flowSeq uint32
 	// arrival is the head-arrival time at the current switch.
 	arrival Time
 	// inPort is the abstract input port at the current switch; the crossbar
 	// arbiter round-robins over input ports.
-	inPort int
-	// upstream is the output port that transmitted the packet on its last
-	// hop; its credit is returned when this hop's input buffer frees. nil
-	// while the packet sits in its source.
-	upstream *outPort
+	inPort int32
+	// upstream is the global port id of the output port that transmitted the
+	// packet on its last hop; its credit is returned when this hop's input
+	// buffer frees. noPort while the packet sits in its source.
+	upstream int32
 	// trace records the packet's timeline when tracing is on.
 	trace *PacketTrace
 
@@ -46,6 +64,14 @@ type pktFIFO struct {
 	head  int
 }
 
+// vlFlow is the link-level flow-control state of one (port, VL): credits the
+// transmitter holds for the receiver's input buffer, and packets resident in
+// the transmitter's output buffer.
+type vlFlow struct {
+	credits   int32
+	occupancy int32
+}
+
 func (q *pktFIFO) push(p *pkt) { q.items = append(q.items, p) }
 func (q *pktFIFO) len() int    { return len(q.items) - q.head }
 
@@ -65,19 +91,26 @@ func (q *pktFIFO) popFront() *pkt {
 	return p
 }
 
-// rxRef names the receiving side of a directed link.
-type rxRef struct {
-	isNode bool
-	node   int32
-	sw     int32
-	port   int // abstract in-port at the switch
-}
+// portState is the scalar state of one transmitting port — a switch output
+// port or an endnode source. Ports live in one dense array indexed by global
+// port id (switch sw's abstract port k is sw*M+k; node i's source is
+// srcBase+i), and all per-(port, VL) state lives in parallel flat slices
+// indexed pid*vls+vl (Sim.credits, .occupancy, .queues, .waiting, .rrIn), so
+// the per-packet path walks index-addressed arrays instead of chasing
+// per-port heap objects.
+type portState struct {
+	busyUntil Time
+	busyAccum Time  // total time this link spent transmitting
+	pktCount  int64 // packets transmitted
 
-// outPort is the transmitting side of a directed link together with the
-// per-VL output buffers feeding it and the credit state of the receiver's
-// input buffers.
-type outPort struct {
-	dest rxRef
+	// destNode >= 0 marks a link ending at that endnode; otherwise the link
+	// ends at input port destPort of switch destSw.
+	destNode int32
+	destSw   int32
+	destPort int32
+
+	rrNext int32 // round-robin pointer over VLs (link arbitration)
+
 	// limited marks switch output buffers (capacity BufPackets per VL);
 	// endnode source queues are unbounded (open-loop injection).
 	limited  bool
@@ -85,42 +118,8 @@ type outPort struct {
 
 	// dead marks a link killed by a FaultPlan event: nothing transmits on
 	// it, and packets entering or arriving over it are dropped.
-	dead bool
-
-	busyUntil Time
-	credits   []int32   // per VL: receiver input-buffer credits held
-	occupancy []int32   // per VL: packets resident in the output buffer
-	queue     []pktFIFO // per VL: packets in the output buffer, FIFO
-	waiting   [][]*pkt  // per VL: packets stuck in input buffers upstream of
-	// the crossbar, waiting for an output-buffer slot
-	rrNext    int   // round-robin pointer over VLs (link arbitration)
-	rrIn      []int // per VL: round-robin pointer over input ports (crossbar arbitration)
+	dead      bool
 	kickArmed bool
-	busyAccum Time  // total time this link spent transmitting
-	pktCount  int64 // packets transmitted
-}
-
-func newOutPort(dest rxRef, vls, bufPackets int, limited, isSource bool) *outPort {
-	op := &outPort{
-		dest:      dest,
-		limited:   limited,
-		isSource:  isSource,
-		credits:   make([]int32, vls),
-		occupancy: make([]int32, vls),
-		queue:     make([]pktFIFO, vls),
-		waiting:   make([][]*pkt, vls),
-		rrIn:      make([]int, vls),
-	}
-	for i := range op.credits {
-		op.credits[i] = int32(bufPackets)
-	}
-	return op
-}
-
-// switchState is one m-port crossbar switch.
-type switchState struct {
-	lft *ib.LFT
-	out []*outPort // by abstract port
 }
 
 // nodeState is one endnode: an open-loop generator plus a sink. The k-th
@@ -128,7 +127,6 @@ type switchState struct {
 // than a float accumulator, so rounding error cannot drift over soak-length
 // runs.
 type nodeState struct {
-	out      *outPort
 	rng      *rand.Rand
 	genPhase float64
 	genCount int64
@@ -141,11 +139,47 @@ type Sim struct {
 	cfg  Config
 	tree *topology.Tree
 
-	switches []*switchState
-	nodes    []*nodeState
+	// Struct-of-arrays switch and source state, preallocated once per run.
+	// m/vls are the indexing strides; srcBase is the global port id of node
+	// 0's source port (switches*m).
+	m, vls  int
+	srcBase int32
+	ports   []portState
+	// Per-(port, VL) state, indexed pid*vls+vl. The credit and occupancy
+	// counters share one struct so the flow-control updates a packet makes at
+	// the same (port, VL) touch one cache line, not two parallel arrays.
+	cv      []vlFlow
+	queues  []pktFIFO // packets in the output buffer, FIFO
+	waiting [][]*pkt  // packets stuck in input buffers upstream of the
+	// crossbar, waiting for an output-buffer slot
+	rrIn []int32 // round-robin pointer over input ports (crossbar arbitration)
 
-	serPkt Time // serialization time of a full packet
-	end    Time // generation/measurement horizon
+	// lfts holds each switch's live forwarding table; fwd16/fwd32 is its
+	// compiled form — one flat row of lftSize entries per switch mapping DLID
+	// directly to the global port id of the output port (noPort: no route).
+	// Compiled at build and recompiled entry-wise by applyLFTUpdate, so the
+	// forwarding step is a single array read with no method call or error
+	// construction. fwd16 is used whenever every global port id fits in an
+	// int16 (every practical fabric): halving the table's footprint keeps the
+	// hot rows cache-resident, and route's load of it is the single most
+	// frequent memory access in a run. fwd32 is the fallback for enormous
+	// fabrics; exactly one of the two is non-nil.
+	lfts    []*ib.LFT
+	fwd16   []int16
+	fwd32   []int32
+	lftSize int
+	// warmSink absorbs the hot path's cache-warming reads (swArrive touching
+	// the compiled forwarding entry its evRoute will read, nodeArrive and
+	// deliverIdeal touching the flow-ordering counter their evDeliver will
+	// update). Summing into a field keeps the loads from being eliminated;
+	// the value is never consumed.
+	warmSink int64
+
+	nodes []nodeState
+
+	serPkt Time    // serialization time of a full packet
+	ia     float64 // per-node open-loop interarrival in ns
+	end    Time    // generation/measurement horizon
 
 	err error
 
@@ -167,10 +201,14 @@ type Sim struct {
 	// lastDelivery is the latest tail-delivery timestamp (batch makespan).
 	lastDelivery Time
 
-	// pktFree recycles delivered packets. A pkt on this list is dead: the
-	// model must never reference a packet after its evDeliver dispatched
-	// (see DESIGN.md, "Event engine internals").
-	pktFree []*pkt
+	// pktFree recycles delivered packets, refilled in slabs from pktSlab (the
+	// carving tail of the newest entry in pktSlabs, which pktAt indexes by
+	// pkt.idx). A pkt on the free list is dead: the model must never
+	// reference a packet after its evDeliver dispatched (see DESIGN.md,
+	// "Event engine internals").
+	pktFree  []*pkt
+	pktSlab  []pkt
+	pktSlabs [][]pkt
 
 	// series accumulators, indexed by tail / SeriesIntervalNs.
 	seriesBytes    []int64
@@ -196,6 +234,9 @@ type Sim struct {
 	lastDropNs          Time
 }
 
+// nodePid returns the global port id of a node's source port.
+func (s *Sim) nodePid(node int32) int32 { return s.srcBase + node }
+
 // Run executes one simulation and returns its measurements.
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
@@ -210,7 +251,8 @@ func Run(cfg Config) (Result, error) {
 	// Start every generator at a random phase within its first interval to
 	// avoid lockstep injection.
 	ia := s.interarrival()
-	for i, n := range s.nodes {
+	for i := range s.nodes {
+		n := &s.nodes[i]
 		n.genPhase = n.rng.Float64() * ia
 		s.schedule(genTimeAt(n.genPhase, ia, 0), event{kind: evGenerate, a: int32(i)})
 	}
@@ -280,9 +322,10 @@ func Run(cfg Config) (Result, error) {
 	res.Saturated = res.Accepted < 0.98*cfg.OfferedLoad
 	var sum float64
 	var links int
-	for _, st := range s.switches {
-		for _, op := range st.out {
-			u := float64(op.busyAccum) / float64(horizon)
+	for sw := 0; sw < s.tree.Switches(); sw++ {
+		for k := 0; k < s.m; k++ {
+			pt := &s.ports[sw*s.m+k]
+			u := float64(pt.busyAccum) / float64(horizon)
 			if u > res.MaxLinkUtilization {
 				res.MaxLinkUtilization = u
 			}
@@ -290,8 +333,9 @@ func Run(cfg Config) (Result, error) {
 			links++
 		}
 	}
-	for _, n := range s.nodes {
-		if u := float64(n.out.busyAccum) / float64(horizon); u > res.MaxLinkUtilization {
+	for i := range s.nodes {
+		pt := &s.ports[int(s.srcBase)+i]
+		if u := float64(pt.busyAccum) / float64(horizon); u > res.MaxLinkUtilization {
 			res.MaxLinkUtilization = u
 		}
 	}
@@ -317,26 +361,28 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	if cfg.CollectPortStats {
-		for swi, st := range s.switches {
-			for port, op := range st.out {
-				if op.pktCount == 0 {
+		for sw := 0; sw < s.tree.Switches(); sw++ {
+			for port := 0; port < s.m; port++ {
+				pt := &s.ports[sw*s.m+port]
+				if pt.pktCount == 0 {
 					continue
 				}
 				res.PortStats = append(res.PortStats, PortStat{
-					Switch: int32(swi), Port: port,
-					BusyNs: op.busyAccum, Packets: op.pktCount,
-					Utilization: float64(op.busyAccum) / float64(horizon),
+					Switch: int32(sw), Port: port,
+					BusyNs: pt.busyAccum, Packets: pt.pktCount,
+					Utilization: float64(pt.busyAccum) / float64(horizon),
 				})
 			}
 		}
-		for ni, n := range s.nodes {
-			if n.out.pktCount == 0 {
+		for ni := range s.nodes {
+			pt := &s.ports[int(s.srcBase)+ni]
+			if pt.pktCount == 0 {
 				continue
 			}
 			res.PortStats = append(res.PortStats, PortStat{
 				IsNode: true, Node: int32(ni),
-				BusyNs: n.out.busyAccum, Packets: n.out.pktCount,
-				Utilization: float64(n.out.busyAccum) / float64(horizon),
+				BusyNs: pt.busyAccum, Packets: pt.pktCount,
+				Utilization: float64(pt.busyAccum) / float64(horizon),
 			})
 		}
 		sort.Slice(res.PortStats, func(i, j int) bool {
@@ -361,12 +407,14 @@ func Run(cfg Config) (Result, error) {
 
 func build(cfg Config) *Sim {
 	t := cfg.Subnet.Tree
+	S, M, N := t.Switches(), t.M(), t.Nodes()
 	s := &Sim{
-		cfg:      cfg,
-		tree:     t,
-		switches: make([]*switchState, t.Switches()),
-		nodes:    make([]*nodeState, t.Nodes()),
-		serPkt:   Time(cfg.PacketSize) * cfg.NsPerByte,
+		cfg:     cfg,
+		tree:    t,
+		m:       M,
+		srcBase: int32(S * M),
+		serPkt:  Time(cfg.PacketSize) * cfg.NsPerByte,
+		ia:      float64(cfg.PacketSize) * float64(cfg.NsPerByte) / cfg.OfferedLoad,
 	}
 	s.engine.heapOnly = engineHeapOnly || cfg.HeapOnlyScheduler
 	// The reliable transport claims one management VL for ACK/NAK traffic on
@@ -376,7 +424,31 @@ func build(cfg Config) *Sim {
 	if cfg.Transport != nil {
 		vls++
 	}
-	for sw := 0; sw < t.Switches(); sw++ {
+	s.vls = vls
+	numPorts := S*M + N
+	s.ports = make([]portState, numPorts)
+	s.cv = make([]vlFlow, numPorts*vls)
+	s.queues = make([]pktFIFO, numPorts*vls)
+	s.waiting = make([][]*pkt, numPorts*vls)
+	s.rrIn = make([]int32, numPorts*vls)
+	for i := range s.cv {
+		s.cv[i].credits = int32(cfg.BufPackets)
+	}
+	// Slab-back the FIFOs: a switch output buffer holds at most BufPackets
+	// per VL (occupancy-gated), so its backing array is sized exactly;
+	// source queues are unbounded (open-loop backlog) and get a modest
+	// starting capacity, growing off-slab past it.
+	swSlab := make([]*pkt, S*M*vls*cfg.BufPackets)
+	for i := 0; i < S*M*vls; i++ {
+		s.queues[i].items = swSlab[i*cfg.BufPackets : i*cfg.BufPackets : (i+1)*cfg.BufPackets]
+	}
+	const srcCap = 16
+	srcSlab := make([]*pkt, N*vls*srcCap)
+	for i := 0; i < N*vls; i++ {
+		s.queues[S*M*vls+i].items = srcSlab[i*srcCap : i*srcCap : (i+1)*srcCap]
+	}
+	s.lfts = make([]*ib.LFT, S)
+	for sw := 0; sw < S; sw++ {
 		lft := cfg.Subnet.LFTs[sw]
 		if cfg.FaultPlan != nil {
 			// Live tables diverge from the configured subnet once the SM
@@ -384,26 +456,41 @@ func build(cfg Config) *Sim {
 			// subnet stays pristine (and serves as the repair baseline).
 			lft = lft.Clone()
 		}
-		st := &switchState{lft: lft, out: make([]*outPort, t.M())}
-		for k := 0; k < t.M(); k++ {
+		s.lfts[sw] = lft
+		if n := lft.Size(); n > s.lftSize {
+			s.lftSize = n
+		}
+		for k := 0; k < M; k++ {
 			ref := t.SwitchNeighbor(topology.SwitchID(sw), k)
-			var dst rxRef
+			pt := &s.ports[sw*M+k]
+			pt.limited = true
+			pt.destNode = -1
 			switch ref.Kind {
 			case topology.KindNode:
-				dst = rxRef{isNode: true, node: int32(ref.Node)}
+				pt.destNode = int32(ref.Node)
 			case topology.KindSwitch:
-				dst = rxRef{sw: int32(ref.Switch), port: ref.Port}
+				pt.destSw = int32(ref.Switch)
+				pt.destPort = int32(ref.Port)
 			}
-			st.out[k] = newOutPort(dst, vls, cfg.BufPackets, true, false)
 		}
-		s.switches[sw] = st
 	}
-	for p := 0; p < t.Nodes(); p++ {
+	if maxPid := S*M + N - 1; maxPid <= math.MaxInt16 {
+		s.fwd16 = make([]int16, S*s.lftSize)
+	} else {
+		s.fwd32 = make([]int32, S*s.lftSize)
+	}
+	for sw := 0; sw < S; sw++ {
+		s.compileLFT(int32(sw))
+	}
+	s.nodes = make([]nodeState, N)
+	for p := 0; p < N; p++ {
 		sw, port := t.NodeAttachment(topology.NodeID(p))
-		s.nodes[p] = &nodeState{
-			out: newOutPort(rxRef{sw: int32(sw), port: port}, vls, cfg.BufPackets, false, true),
-			rng: rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(p))),
-		}
+		pt := &s.ports[int(s.srcBase)+p]
+		pt.isSource = true
+		pt.destNode = -1
+		pt.destSw = int32(sw)
+		pt.destPort = int32(port)
+		s.nodes[p].rng = rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(p)))
 	}
 	if n := t.Nodes(); n <= 4096 {
 		s.flowSeq = make([]uint32, n*n)
@@ -421,11 +508,50 @@ func build(cfg Config) *Sim {
 	return s
 }
 
-// interarrival returns the per-node packet spacing in ns (float, accumulated
-// without rounding drift).
-func (s *Sim) interarrival() float64 {
-	return float64(s.cfg.PacketSize) * float64(s.cfg.NsPerByte) / s.cfg.OfferedLoad
+// compileLFT rebuilds one switch's compiled forwarding row from its live
+// table. Called at build for every switch; fault-time table rewrites
+// recompile entry-wise in applyLFTUpdate instead.
+func (s *Sim) compileLFT(sw int32) {
+	base := int(sw) * s.lftSize
+	lft := s.lfts[sw]
+	for lid := 0; lid < s.lftSize; lid++ {
+		s.setFwd(base+lid, s.compileEntry(sw, lft.Port(ib.LID(lid))))
+	}
 }
+
+// fwdAt reads one compiled forwarding entry; setFwd writes one. Only the
+// build/recompile paths and the cold fault-probe use these — route inlines
+// the fwd16 read directly.
+func (s *Sim) fwdAt(i int) int32 {
+	if s.fwd16 != nil {
+		return int32(s.fwd16[i])
+	}
+	return s.fwd32[i]
+}
+
+func (s *Sim) setFwd(i int, pid int32) {
+	if s.fwd16 != nil {
+		s.fwd16[i] = int16(pid)
+		return
+	}
+	s.fwd32[i] = pid
+}
+
+// compileEntry fuses one raw LFT entry (a 1-based physical port) into the
+// global port id of the switch's output port, or noPort when the entry names
+// no usable port.
+func (s *Sim) compileEntry(sw int32, phys uint8) int32 {
+	out := int(phys) - 1
+	if phys == ib.PortNone || out < 0 || out >= s.m {
+		return noPort
+	}
+	return sw*int32(s.m) + int32(out)
+}
+
+// interarrival returns the per-node packet spacing in ns, computed once at
+// build (generate derives every deadline from it; recomputing the division
+// per packet was measurable).
+func (s *Sim) interarrival() float64 { return s.ia }
 
 // runUntil processes events in order until the queue is empty or the next
 // event is later than end. It returns the number of events processed.
@@ -449,22 +575,23 @@ func (s *Sim) dispatch(ev event) {
 	case evGenerate:
 		s.generate(ev.a)
 	case evRoute:
-		s.route(ev.a, ev.p)
+		s.route(ev.a, s.pktAt(ev.pi))
 	case evSwArrive:
-		s.swArrive(ev.a, int(ev.b), ev.p)
+		s.swArrive(ev.a, ev.b, s.pktAt(ev.pi))
 	case evNodeArrive:
-		s.nodeArrive(ev.a, ev.p)
+		s.nodeArrive(ev.a, s.pktAt(ev.pi))
 	case evDeliver:
 		// The event fires exactly at the packet's tail-arrival time.
-		s.deliver(ev.a, ev.p, s.now)
-		s.freePkt(ev.p)
+		p := s.pktAt(ev.pi)
+		s.deliver(ev.a, p, s.now)
+		s.freePkt(p)
 	case evCredit:
-		s.creditArrive(ev.op, int(ev.b))
+		s.creditArrive(ev.a, int(ev.b))
 	case evKick:
-		ev.op.kickArmed = false
-		s.kick(ev.op)
+		s.ports[ev.a].kickArmed = false
+		s.kick(ev.a)
 	case evRelease:
-		s.releaseSlot(ev.op, int(ev.b))
+		s.releaseSlot(ev.a, int(ev.b))
 	case evLinkDown:
 		s.linkDown(ev.a, int(ev.b))
 	case evLinkUp:
@@ -480,15 +607,39 @@ func (s *Sim) dispatch(ev event) {
 	}
 }
 
-// newPkt returns a zeroed packet, reusing a recycled one when available.
+// newPkt returns a zeroed packet (upstream set to noPort), reusing a
+// recycled one when available and refilling from slab-sized allocations
+// otherwise, so packet churn costs one allocation per pktSlabSize packets.
 func (s *Sim) newPkt() *pkt {
 	if n := len(s.pktFree); n > 0 {
 		p := s.pktFree[n-1]
 		s.pktFree = s.pktFree[:n-1]
+		idx := p.idx
 		*p = pkt{}
+		p.idx = idx
+		p.upstream = noPort
 		return p
 	}
-	return new(pkt)
+	if len(s.pktSlab) == 0 {
+		slab := make([]pkt, pktSlabSize)
+		base := int32(len(s.pktSlabs)) << pktSlabShift
+		for j := range slab {
+			slab[j].idx = base + int32(j)
+		}
+		s.pktSlabs = append(s.pktSlabs, slab)
+		s.pktSlab = slab
+	}
+	p := &s.pktSlab[0]
+	s.pktSlab = s.pktSlab[1:]
+	p.upstream = noPort
+	return p
+}
+
+// pktAt resolves a packet's stable slab index (pkt.idx) back to its handle.
+// Events store this index instead of a *pkt so the scheduler's backing arrays
+// hold no pointers.
+func (s *Sim) pktAt(pi int32) *pkt {
+	return &s.pktSlabs[pi>>pktSlabShift][pi&(pktSlabSize-1)]
 }
 
 // freePkt returns a delivered packet to the free list. The caller guarantees
@@ -500,7 +651,7 @@ func (s *Sim) freePkt(p *pkt) {
 // generate creates one packet at the node, enqueues it at the source and
 // schedules the next generation.
 func (s *Sim) generate(node int32) {
-	n := s.nodes[node]
+	n := &s.nodes[node]
 	dst := s.cfg.Pattern.Dest(int(node), n.rng)
 	dlid := s.selectDLID(n, topology.NodeID(node), topology.NodeID(dst))
 	s.totalGenerated++
@@ -542,10 +693,10 @@ func (s *Sim) generate(node int32) {
 		// still unacknowledged and will be retried by the flow's timer.
 		s.txTrack(node, p)
 	}
-	s.requestTransfer(n.out, p)
+	s.requestTransfer(s.nodePid(node), p)
 
 	n.genCount++
-	next := genTimeAt(n.genPhase, s.interarrival(), n.genCount)
+	next := genTimeAt(n.genPhase, s.ia, n.genCount)
 	if next <= s.end {
 		s.schedule(next, event{kind: evGenerate, a: node})
 	}
@@ -583,8 +734,8 @@ func (s *Sim) selectDLID(n *nodeState, src, dst topology.NodeID) ib.LID {
 // swArrive handles a packet head reaching a switch input port: after the
 // crossbar routing delay the forwarding table names the output port and the
 // packet requests an output-buffer slot.
-func (s *Sim) swArrive(sw int32, inPort int, p *pkt) {
-	if p.upstream != nil && p.upstream.dead {
+func (s *Sim) swArrive(sw int32, inPort int32, p *pkt) {
+	if p.upstream >= 0 && s.ports[p.upstream].dead {
 		// The link died while the packet was flying or serializing on it.
 		s.droppedOnDeadLink++
 		s.dropPkt(p)
@@ -600,25 +751,45 @@ func (s *Sim) swArrive(sw int32, inPort int, p *pkt) {
 		// Store-and-forward: the table lookup waits for the tail.
 		delay += s.serPkt
 	}
-	s.schedule(s.now+delay, event{kind: evRoute, a: sw, p: p})
+	s.schedule(s.now+delay, event{kind: evRoute, a: sw, pi: p.idx})
+	// Touch the compiled forwarding entry this packet's evRoute will read, so
+	// the cache line is warm when the routing delay elapses. The summed-into-
+	// a-sink read cannot be dead-code-eliminated and has no model effect: the
+	// authoritative lookup still happens at route time, after any table
+	// rewrite that lands in between.
+	if i := int(sw)*s.lftSize + int(p.DLID); i < len(s.fwd16) {
+		s.warmSink += int64(s.fwd16[i])
+	}
 }
 
-// route fires when the crossbar routing delay elapses: the forwarding table
-// names the output port and the packet requests an output-buffer slot.
+// warmFlowHigh touches the flow-ordering counter the packet's evDeliver will
+// update, so the line is warm at delivery time. No model effect; see warmSink.
+func (s *Sim) warmFlowHigh(p *pkt) {
+	if s.flowHigh != nil {
+		s.warmSink += int64(s.flowHigh[int(p.Src)*s.tree.Nodes()+int(p.Dst)])
+	}
+}
+
+// route fires when the crossbar routing delay elapses: the compiled
+// forwarding row names the output port in one array read and the packet
+// requests an output-buffer slot.
 func (s *Sim) route(sw int32, p *pkt) {
-	st := s.switches[sw]
-	phys, err := st.lft.Lookup(p.DLID)
-	if err != nil {
-		s.fail(fmt.Errorf("sim: switch %d cannot forward DLID %d: %w", sw, p.DLID, err))
+	if int(p.DLID) >= s.lftSize {
+		s.routeFail(sw, p)
 		return
 	}
-	out := int(phys) - 1
-	if out < 0 || out >= len(st.out) {
-		s.fail(fmt.Errorf("sim: switch %d forwards DLID %d to invalid port %d", sw, p.DLID, phys))
+	var pid int32
+	if i := int(sw)*s.lftSize + int(p.DLID); s.fwd16 != nil {
+		pid = int32(s.fwd16[i])
+	} else {
+		pid = s.fwd32[i]
+	}
+	if pid < 0 {
+		s.routeFail(sw, p)
 		return
 	}
-	op := st.out[out]
-	if op.dead {
+	pt := &s.ports[pid]
+	if pt.dead {
 		// The table — stale before the SM's repair lands, or holding an
 		// irreparable descending entry after it — forwards onto a dead
 		// link. Never silently misroute: count and drop.
@@ -626,114 +797,132 @@ func (s *Sim) route(sw int32, p *pkt) {
 		s.dropPkt(p)
 		return
 	}
-	if s.cfg.Reception == ReceptionIdeal && op.dest.isNode {
-		s.deliverIdeal(op.dest.node, p)
+	if s.cfg.Reception == ReceptionIdeal && pt.destNode >= 0 {
+		s.deliverIdeal(pt.destNode, p)
 		return
 	}
-	s.requestTransfer(op, p)
+	s.requestTransfer(pid, p)
 }
 
-// requestTransfer asks for an output-buffer slot on (op, p.VL). If the buffer
-// is full the packet waits in its input buffer (virtual cut-through: the
-// whole packet collapses there), holding the upstream credit.
-func (s *Sim) requestTransfer(op *outPort, p *pkt) {
-	if op.dead {
+// routeFail aborts the run on a forwarding miss, reproducing the diagnostics
+// of the uncompiled path: the raw table distinguishes a missing entry from
+// one naming an out-of-range port.
+func (s *Sim) routeFail(sw int32, p *pkt) {
+	phys, err := s.lfts[sw].Lookup(p.DLID)
+	if err != nil {
+		s.fail(fmt.Errorf("sim: switch %d cannot forward DLID %d: %w", sw, p.DLID, err))
+		return
+	}
+	s.fail(fmt.Errorf("sim: switch %d forwards DLID %d to invalid port %d", sw, p.DLID, phys))
+}
+
+// requestTransfer asks for an output-buffer slot on (pid, p.VL). If the
+// buffer is full the packet waits in its input buffer (virtual cut-through:
+// the whole packet collapses there), holding the upstream credit.
+func (s *Sim) requestTransfer(pid int32, p *pkt) {
+	pt := &s.ports[pid]
+	if pt.dead {
 		// Injection into a dead link (a source whose attachment link is
 		// down, or a flush race); route-time drops are counted separately.
 		s.droppedOnDeadLink++
 		s.dropPkt(p)
 		return
 	}
-	vl := int(p.VL)
-	if op.limited && op.occupancy[vl] >= int32(s.cfg.BufPackets) {
-		op.waiting[vl] = append(op.waiting[vl], p)
+	i := int(pid)*s.vls + int(p.VL)
+	if pt.limited && s.cv[i].occupancy >= int32(s.cfg.BufPackets) {
+		s.waiting[i] = append(s.waiting[i], p)
 		return
 	}
-	op.occupancy[vl]++
-	s.completeTransfer(op, p)
+	s.cv[i].occupancy++
+	s.completeTransfer(pid, p)
 }
 
 // completeTransfer moves the packet across the crossbar into the output
 // buffer. The input buffer it came from frees once the tail has both arrived
 // (arrival + serialization) and moved on — at which point the credit flies
 // back to the upstream transmitter.
-func (s *Sim) completeTransfer(op *outPort, p *pkt) {
+func (s *Sim) completeTransfer(pid int32, p *pkt) {
 	vl := int(p.VL)
-	if p.upstream != nil {
+	if p.upstream >= 0 {
 		free := p.arrival + s.serPkt
 		if s.now > free {
 			free = s.now
 		}
-		s.schedule(free+s.cfg.FlyNs, event{kind: evCredit, op: p.upstream, b: int32(vl)})
-		p.upstream = nil
+		s.schedule(free+s.cfg.FlyNs, event{kind: evCredit, a: p.upstream, b: int32(vl)})
+		p.upstream = noPort
 	}
-	op.queue[vl].push(p)
-	s.kick(op)
+	s.queues[int(pid)*s.vls+vl].push(p)
+	s.kick(pid)
 }
 
 // kick runs the output port's arbitration: when the link is idle it starts
 // transmitting the next ready packet, picking among virtual lanes with
 // queued packets and available credits in round-robin order.
-func (s *Sim) kick(op *outPort) {
-	if op.kickArmed || op.dead {
+func (s *Sim) kick(pid int32) {
+	pt := &s.ports[pid]
+	if pt.kickArmed || pt.dead {
 		return
 	}
-	if op.busyUntil > s.now {
+	base := int(pid) * s.vls
+	n := s.vls
+	qs := s.queues[base : base+n]
+	if pt.busyUntil > s.now {
 		// Re-arbitrate when the link frees, if anything is pending.
-		for vl := range op.queue {
-			if op.queue[vl].len() > 0 {
-				op.kickArmed = true
-				s.schedule(op.busyUntil, event{kind: evKick, op: op})
+		for vl := range qs {
+			if qs[vl].len() > 0 {
+				pt.kickArmed = true
+				s.schedule(pt.busyUntil, event{kind: evKick, a: pid})
 				return
 			}
 		}
 		return
 	}
-	n := len(op.queue)
+	cr := s.cv[base : base+n]
 	for i := 0; i < n; i++ {
-		vl := (op.rrNext + i) % n
-		if op.queue[vl].len() > 0 && op.credits[vl] > 0 {
-			op.rrNext = (vl + 1) % n
-			s.transmit(op, vl)
-			s.kick(op) // arm for the next pending packet, if any
+		vl := (int(pt.rrNext) + i) % n
+		if qs[vl].len() > 0 && cr[vl].credits > 0 {
+			pt.rrNext = int32((vl + 1) % n)
+			s.transmit(pid, vl)
+			s.kick(pid) // arm for the next pending packet, if any
 			return
 		}
 	}
 }
 
 // transmit starts serializing the head packet of the VL onto the link.
-func (s *Sim) transmit(op *outPort, vl int) {
-	p := op.queue[vl].popFront()
-	op.credits[vl]--
-	if op.credits[vl] < 0 {
+func (s *Sim) transmit(pid int32, vl int) {
+	i := int(pid)*s.vls + vl
+	p := s.queues[i].popFront()
+	s.cv[i].credits--
+	if s.cv[i].credits < 0 {
 		s.fail(fmt.Errorf("sim: credit underflow on VL %d (model bug)", vl))
 		return
 	}
+	pt := &s.ports[pid]
 	start := s.now
-	op.busyUntil = start + s.serPkt
-	op.busyAccum += s.serPkt
-	op.pktCount++
-	if op.isSource {
+	pt.busyUntil = start + s.serPkt
+	pt.busyAccum += s.serPkt
+	pt.pktCount++
+	if pt.isSource {
 		p.InjectTime = start
 	}
 	if p.trace != nil {
-		if op.isSource {
+		if pt.isSource {
 			p.trace.InjectNs = start
 		} else if n := len(p.trace.Hops); n > 0 {
 			p.trace.Hops[n-1].DepartNs = start
 		}
 	}
-	if op.limited {
-		s.schedule(op.busyUntil, event{kind: evRelease, op: op, b: int32(vl)})
+	if pt.limited {
+		s.schedule(pt.busyUntil, event{kind: evRelease, a: pid, b: int32(vl)})
 	} else {
-		op.occupancy[vl]--
+		s.cv[i].occupancy--
 	}
-	p.upstream = op
-	dest := op.dest
-	if dest.isNode {
-		s.schedule(start+s.cfg.FlyNs, event{kind: evNodeArrive, a: dest.node, p: p})
+	p.upstream = pid
+	if pt.destNode >= 0 {
+		s.schedule(start+s.cfg.FlyNs, event{kind: evNodeArrive, a: pt.destNode, pi: p.idx})
 	} else {
-		s.schedule(start+s.cfg.FlyNs, event{kind: evSwArrive, a: dest.sw, b: int32(dest.port), p: p})
+		s.schedule(start+s.cfg.FlyNs, event{kind: evSwArrive, a: pt.destSw, b: pt.destPort, pi: p.idx})
 	}
 }
 
@@ -742,46 +931,48 @@ func (s *Sim) transmit(op *outPort, vl int) {
 // crossbar arbiter serves input ports in round-robin order (ties within an
 // input port go to the oldest packet), the way a physical crossbar allocator
 // shares an output among its contending inputs.
-func (s *Sim) releaseSlot(op *outPort, vl int) {
-	op.occupancy[vl]--
-	if op.occupancy[vl] < 0 {
+func (s *Sim) releaseSlot(pid int32, vl int) {
+	i := int(pid)*s.vls + vl
+	s.cv[i].occupancy--
+	if s.cv[i].occupancy < 0 {
 		s.fail(fmt.Errorf("sim: output-buffer occupancy underflow on VL %d (model bug)", vl))
 		return
 	}
-	if len(op.waiting[vl]) == 0 {
+	if len(s.waiting[i]) == 0 {
 		return
 	}
 	// Pick the waiting packet whose input port follows the round-robin
 	// pointer most closely; the waiting list is in request order, so the
 	// first match per input port is that port's oldest packet.
-	w := op.waiting[vl]
+	w := s.waiting[i]
 	const big = int(^uint(0) >> 1)
 	bestIdx, bestDist := -1, big
-	for i, p := range w {
-		d := p.inPort - op.rrIn[vl]
+	for j, p := range w {
+		d := int(p.inPort - s.rrIn[i])
 		if d < 0 {
 			d += 1 << 16 // any bound larger than the port count works
 		}
 		if d < bestDist {
-			bestIdx, bestDist = i, d
+			bestIdx, bestDist = j, d
 		}
 	}
 	p := w[bestIdx]
-	op.waiting[vl] = append(w[:bestIdx], w[bestIdx+1:]...)
-	op.rrIn[vl] = p.inPort + 1
-	op.occupancy[vl]++
-	s.completeTransfer(op, p)
+	s.waiting[i] = append(w[:bestIdx], w[bestIdx+1:]...)
+	s.rrIn[i] = p.inPort + 1
+	s.cv[i].occupancy++
+	s.completeTransfer(pid, p)
 }
 
 // creditArrive returns one credit to the transmitter and re-arbitrates.
-func (s *Sim) creditArrive(op *outPort, vl int) {
-	op.credits[vl]++
-	if op.credits[vl] > int32(s.cfg.BufPackets) {
+func (s *Sim) creditArrive(pid int32, vl int) {
+	i := int(pid)*s.vls + vl
+	s.cv[i].credits++
+	if s.cv[i].credits > int32(s.cfg.BufPackets) {
 		s.fail(fmt.Errorf("sim: credit overflow on VL %d: %d > %d (model bug)",
-			vl, op.credits[vl], s.cfg.BufPackets))
+			vl, s.cv[i].credits, s.cfg.BufPackets))
 		return
 	}
-	s.kick(op)
+	s.kick(pid)
 }
 
 // deliverIdeal consumes a routed packet at its destination's leaf switch
@@ -790,14 +981,15 @@ func (s *Sim) creditArrive(op *outPort, vl int) {
 // streamed through, and no shared final-link resource exists.
 func (s *Sim) deliverIdeal(node int32, p *pkt) {
 	tail := s.now + s.cfg.FlyNs + s.serPkt
-	s.schedule(tail, event{kind: evDeliver, a: node, p: p})
-	if p.upstream != nil {
+	s.schedule(tail, event{kind: evDeliver, a: node, pi: p.idx})
+	s.warmFlowHigh(p)
+	if p.upstream >= 0 {
 		free := p.arrival + s.serPkt
 		if s.now > free {
 			free = s.now
 		}
-		s.schedule(free+s.cfg.FlyNs, event{kind: evCredit, op: p.upstream, b: int32(p.VL)})
-		p.upstream = nil
+		s.schedule(free+s.cfg.FlyNs, event{kind: evCredit, a: p.upstream, b: int32(p.VL)})
+		p.upstream = noPort
 	}
 }
 
@@ -805,7 +997,7 @@ func (s *Sim) deliverIdeal(node int32, p *pkt) {
 // packet is consumed as it streams in: delivery completes at tail arrival,
 // and the input buffer's credit returns immediately after.
 func (s *Sim) nodeArrive(node int32, p *pkt) {
-	if p.upstream != nil && p.upstream.dead {
+	if p.upstream >= 0 && s.ports[p.upstream].dead {
 		s.droppedOnDeadLink++
 		s.dropPkt(p)
 		return
@@ -813,12 +1005,14 @@ func (s *Sim) nodeArrive(node int32, p *pkt) {
 	tail := s.now + s.serPkt
 	up := p.upstream
 	vl := int32(p.VL)
-	p.upstream = nil
-	s.schedule(tail, event{kind: evDeliver, a: node, p: p})
-	if up != nil {
-		// Guard against a nil upstream (as deliverIdeal and completeTransfer
-		// do): scheduling evCredit with a nil port panics in dispatch.
-		s.schedule(tail+s.cfg.FlyNs, event{kind: evCredit, op: up, b: vl})
+	p.upstream = noPort
+	s.schedule(tail, event{kind: evDeliver, a: node, pi: p.idx})
+	s.warmFlowHigh(p)
+	if up >= 0 {
+		// Guard against a missing upstream (as deliverIdeal and
+		// completeTransfer do): scheduling evCredit for noPort would index
+		// out of the port array in dispatch.
+		s.schedule(tail+s.cfg.FlyNs, event{kind: evCredit, a: up, b: vl})
 	}
 }
 

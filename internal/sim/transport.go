@@ -173,9 +173,19 @@ type rxFlow struct {
 	// cum is the highest PSN received in order: everything <= cum is
 	// delivered and acknowledged.
 	cum uint32
-	// ooo buffers PSNs received above a gap. Membership-only (never ranged
-	// over); entries drain into cum as the gap fills.
-	ooo map[uint32]struct{}
+	// win is a sliding-window ring bitmap over the PSNs received above a
+	// gap (membership-only, exactly what the old per-flow map provided,
+	// without its per-entry allocation): the bit for PSN p lives at word
+	// (p>>6) mod len(win), bit p&63, with len(win) a power of two. The
+	// invariant is that only words in the active span — (cum, highest
+	// buffered PSN] — hold set bits, so ring aliasing cannot produce false
+	// positives; draining clears each bit as cum advances, and a span wider
+	// than the ring doubles it with an absolute-word remap (winInsert).
+	// Lazily borrowed from the run's pool on the first gap and returned
+	// when the gap fully drains (oooCount hits zero).
+	win []uint64
+	// oooCount is the number of PSNs currently buffered in win.
+	oooCount int32
 	// nakFor is the missing PSN the receiver already NAKed, rate-limiting
 	// NAKs to one per gap (the sender's timer is the fallback if either the
 	// NAK or its retransmission dies).
@@ -183,6 +193,80 @@ type rxFlow struct {
 	// gapHits counts arrivals above the current gap since cum last moved;
 	// the NAK fires once it reaches nakDupThreshold.
 	gapHits int32
+}
+
+// winContains reports whether PSN seq is buffered. PSNs at or below cum, or
+// beyond the ring's representable span, cannot be stored and answer false
+// without touching the bitmap.
+func (f *rxFlow) winContains(seq uint32) bool {
+	if f.oooCount == 0 || seq <= f.cum {
+		return false
+	}
+	w := seq >> 6
+	w0 := (f.cum + 1) >> 6
+	if w-w0 >= uint32(len(f.win)) {
+		return false
+	}
+	return f.win[w&uint32(len(f.win)-1)]>>(seq&63)&1 == 1
+}
+
+// winClear removes PSN seq from the window (the caller knows it is present).
+func (f *rxFlow) winClear(seq uint32) {
+	f.win[(seq>>6)&uint32(len(f.win)-1)] &^= 1 << (seq & 63)
+	f.oooCount--
+}
+
+// winInsert records PSN seq in the window, growing the ring when the span
+// from the gap to seq no longer fits.
+func (t *transportRun) winInsert(f *rxFlow, seq uint32) {
+	w := seq >> 6
+	w0 := (f.cum + 1) >> 6
+	if span := w - w0 + 1; f.win == nil || span > uint32(len(f.win)) {
+		t.winGrow(f, span)
+	}
+	f.win[w&uint32(len(f.win)-1)] |= 1 << (seq & 63)
+	f.oooCount++
+}
+
+// winGrow (re)sizes a flow's ring to hold span words, doubling from a small
+// floor and remapping every live word of the old ring onto its new slot by
+// absolute word index.
+func (t *transportRun) winGrow(f *rxFlow, span uint32) {
+	newLen := uint32(4)
+	for newLen < span {
+		newLen <<= 1
+	}
+	old := f.win
+	f.win = t.getWin(int(newLen))
+	if old != nil {
+		w0 := (f.cum + 1) >> 6
+		for i := uint32(0); i < uint32(len(old)); i++ {
+			w := w0 + i
+			f.win[w&(newLen-1)] = old[w&uint32(len(old)-1)]
+		}
+		t.putWin(old)
+	}
+}
+
+// getWin borrows a zeroed ring of exactly n words (n a power of two) from
+// the pool, allocating only when the pool has nothing large enough.
+func (t *transportRun) getWin(n int) []uint64 {
+	if last := len(t.winFree) - 1; last >= 0 {
+		w := t.winFree[last]
+		t.winFree[last] = nil
+		t.winFree = t.winFree[:last]
+		if cap(w) >= n {
+			w = w[:n]
+			clear(w)
+			return w
+		}
+	}
+	return make([]uint64, n)
+}
+
+// putWin returns a drained ring to the pool for the next gapped flow.
+func (t *transportRun) putWin(w []uint64) {
+	t.winFree = append(t.winFree, w)
 }
 
 // transportRun is the live transport state of one simulation.
@@ -193,6 +277,10 @@ type transportRun struct {
 	// its destination.
 	tx []txFlow
 	rx []rxFlow
+	// winFree pools drained out-of-order ring bitmaps across flows, so the
+	// number of live rings tracks the number of concurrently gapped flows,
+	// not the number of flows that ever saw a gap.
+	winFree [][]uint64
 
 	retransmits     int64
 	failed          int64
@@ -245,10 +333,7 @@ func (s *Sim) rexmitTimer(idx int32, gen int32) {
 		// delivered-but-unconfirmed, and counting it Failed would double-
 		// count it against the conservation identity.
 		rxf := &t.rx[idx]
-		delivered := head.seq <= rxf.cum
-		if !delivered && rxf.ooo != nil {
-			_, delivered = rxf.ooo[head.seq]
-		}
+		delivered := head.seq <= rxf.cum || rxf.winContains(head.seq)
 		if !delivered {
 			t.failed++
 			if iv := s.cfg.SeriesIntervalNs; iv > 0 && s.now < s.end {
@@ -278,7 +363,7 @@ func (s *Sim) retransmit(idx int32, tp *txPkt) {
 	}
 	nodes := int32(s.tree.Nodes())
 	src, dst := idx/nodes, idx%nodes
-	n := s.nodes[src]
+	n := &s.nodes[src]
 	dlid := s.selectDLID(n, topology.NodeID(src), topology.NodeID(dst))
 	var vl int
 	if s.cfg.VLSelect == VLByDLID {
@@ -300,7 +385,7 @@ func (s *Sim) retransmit(idx int32, tp *txPkt) {
 	}
 	p.flowSeq = tp.seq
 	p.rexmit = true
-	s.requestTransfer(n.out, p)
+	s.requestTransfer(s.nodePid(src), p)
 }
 
 // rxAccept runs the receiver side for a delivered data packet: duplicate and
@@ -321,15 +406,17 @@ func (s *Sim) rxAccept(node int32, p *pkt) bool {
 		return false
 	case seq == f.cum+1:
 		// In order: advance the watermark, draining any buffered packets
-		// the gap was holding back.
+		// the gap was holding back. A fully drained window returns its ring
+		// to the pool.
 		f.cum++
-		if f.ooo != nil {
-			for {
-				if _, ok := f.ooo[f.cum+1]; !ok {
-					break
-				}
-				delete(f.ooo, f.cum+1)
+		if f.oooCount > 0 {
+			for f.winContains(f.cum + 1) {
+				f.winClear(f.cum + 1)
 				f.cum++
+			}
+			if f.oooCount == 0 {
+				t.putWin(f.win)
+				f.win = nil
 			}
 		}
 		f.gapHits = 0
@@ -340,15 +427,12 @@ func (s *Sim) rxAccept(node int32, p *pkt) bool {
 		// survived nakDupThreshold arrivals. Multipath reordering lands
 		// here constantly, so out-of-order is accepted (selectively
 		// acknowledged), never discarded, and never NAKed on first sight.
-		if f.ooo == nil {
-			f.ooo = make(map[uint32]struct{})
-		}
-		if _, dup := f.ooo[seq]; dup {
+		if f.winContains(seq) {
 			t.dupDeliveries++
 			s.sendCtrl(node, p.Src, ctrlAck, f.cum, seq)
 			return false
 		}
-		f.ooo[seq] = struct{}{}
+		t.winInsert(f, seq)
 		f.gapHits++
 		if f.gapHits >= nakDupThreshold && f.nakFor != f.cum+1 {
 			f.nakFor = f.cum + 1
@@ -366,7 +450,7 @@ func (s *Sim) rxAccept(node int32, p *pkt) bool {
 // route around known-dead links too.
 func (s *Sim) sendCtrl(from, to int32, kind uint8, cum, sack uint32) {
 	t := s.transport
-	n := s.nodes[from]
+	n := &s.nodes[from]
 	dlid := s.selectDLID(n, topology.NodeID(from), topology.NodeID(to))
 	p := s.newPkt()
 	p.Packet = ib.Packet{
@@ -387,7 +471,7 @@ func (s *Sim) sendCtrl(from, to int32, kind uint8, cum, sack uint32) {
 		t.naksSent++
 	}
 	t.ctrlBytes += int64(p.Size)
-	s.requestTransfer(n.out, p)
+	s.requestTransfer(s.nodePid(from), p)
 }
 
 // ctrlArrive runs the sender side for a delivered ACK/NAK: release every

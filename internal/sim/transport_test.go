@@ -118,8 +118,8 @@ func TestTransportReceiverDedup(t *testing.T) {
 		t.Fatal("gap-filling seq 2 not accepted")
 	}
 	f := &s.transport.rx[s.flowIdx(1, 0)]
-	if f.cum != 5 || len(f.ooo) != 0 {
-		t.Fatalf("after gap fill: cum = %d (want 5), ooo = %d (want empty)", f.cum, len(f.ooo))
+	if f.cum != 5 || f.oooCount != 0 {
+		t.Fatalf("after gap fill: cum = %d (want 5), oooCount = %d (want 0)", f.cum, f.oooCount)
 	}
 	// Duplicate below the watermark.
 	if s.rxAccept(0, mk(2)) {

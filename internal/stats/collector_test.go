@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestExactModeMax is the regression for the old Max, which sorted the whole
+// sample slice to read the last element: Max must answer streaming, before
+// any Percentile call, and must not depend on sort state.
+func TestExactModeMax(t *testing.T) {
+	c := NewExactLatencyCollector()
+	for _, v := range []float64{40, 10, 50, 20, 30} {
+		c.Add(v)
+	}
+	if got := c.Max(); got != 50 {
+		t.Errorf("Max before any Percentile = %v, want 50", got)
+	}
+	if got := c.Min(); got != 10 {
+		t.Errorf("Min = %v, want 10", got)
+	}
+	c.Add(60)
+	if got := c.Max(); got != 60 {
+		t.Errorf("Max after Add = %v, want 60", got)
+	}
+}
+
+// TestExactModePercentileDoesNotMutate is the regression for the old
+// Percentile, which sorted the retained samples in place and destroyed
+// insertion order.
+func TestExactModePercentileDoesNotMutate(t *testing.T) {
+	c := NewExactLatencyCollector()
+	in := []float64{40, 10, 50, 20, 30}
+	for _, v := range in {
+		c.Add(v)
+	}
+	if got := c.Percentile(0.5); got != 30 {
+		t.Errorf("P50 = %v, want 30", got)
+	}
+	for i, v := range c.samples {
+		if v != in[i] {
+			t.Fatalf("Percentile mutated samples: got %v, want %v", c.samples, in)
+		}
+	}
+	// A later Add must invalidate the sorted cache.
+	c.Add(5)
+	if got := c.Percentile(0.0); got != 5 {
+		t.Errorf("P0 after Add = %v, want 5", got)
+	}
+}
+
+func TestStreamingModeRetainsNoSamples(t *testing.T) {
+	var c LatencyCollector
+	for i := 0; i < 1000; i++ {
+		c.Add(float64(100 + i))
+	}
+	if c.samples != nil {
+		t.Error("streaming collector retained samples")
+	}
+	if len(c.counts) != latBuckets {
+		t.Errorf("histogram size = %d, want %d", len(c.counts), latBuckets)
+	}
+}
+
+func TestLatIndexValueRoundTrip(t *testing.T) {
+	// Every sample must bin into a bucket whose lower edge is <= the sample
+	// and within one part in 2^latSubBits of it.
+	for _, v := range []float64{1, 1.0009, 2, 3, 100, 111, 1054, 65536.5, 1e9, 3.7e12} {
+		i := latIndex(v)
+		lo := latValue(i)
+		if lo > v {
+			t.Errorf("latValue(latIndex(%v)) = %v > sample", v, lo)
+		}
+		if rel := (v - lo) / v; rel >= 1.0/latSubs {
+			t.Errorf("quantization error for %v: edge %v, rel %v", v, lo, rel)
+		}
+	}
+	// Sub-1 samples clamp into bucket 0; out-of-range samples clamp into the
+	// last bucket instead of indexing out of bounds.
+	if latIndex(0.25) != 0 || latIndex(0) != 0 {
+		t.Error("sub-1 samples must clamp to bucket 0")
+	}
+	if latIndex(math.MaxFloat64) != latBuckets-1 {
+		t.Error("huge samples must clamp to the last bucket")
+	}
+}
+
+// exactNearestRank is the reference quantile: nearest-rank over a sorted
+// copy, matching the pre-histogram collector semantics.
+func exactNearestRank(samples []float64, q float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// TestStreamingPercentileErrorBound is the seeded quick-check: adversarial
+// distributions through the streaming histogram, P99/P999 compared against
+// exact nearest-rank, relative error asserted below the documented 0.1%.
+func TestStreamingPercentileErrorBound(t *testing.T) {
+	const n = 20000
+	gens := map[string]func(r *rand.Rand) float64{
+		// Two tight modes three decades apart: P99 sits inside the far mode.
+		"bimodal": func(r *rand.Rand) float64 {
+			if r.Float64() < 0.97 {
+				return 200 + 20*r.Float64()
+			}
+			return 150000 + 5000*r.Float64()
+		},
+		// Pareto-style heavy tail: the top ranks spread over many octaves.
+		"heavy-tail": func(r *rand.Rand) float64 {
+			return 100 / math.Pow(1-r.Float64(), 1.5)
+		},
+		// Degenerate: every sample identical, percentiles must be exact.
+		"constant": func(r *rand.Rand) float64 { return 1234.5 },
+		// Uniform over a wide range, non-integer samples.
+		"uniform": func(r *rand.Rand) float64 { return 1 + 1e6*r.Float64() },
+	}
+	for name, gen := range gens {
+		for seed := int64(1); seed <= 5; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			var c LatencyCollector
+			samples := make([]float64, 0, n)
+			for i := 0; i < n; i++ {
+				v := gen(r)
+				c.Add(v)
+				samples = append(samples, v)
+			}
+			for _, q := range []float64{0.99, 0.999} {
+				want := exactNearestRank(samples, q)
+				got := c.Percentile(q)
+				rel := math.Abs(got-want) / want
+				if rel > 0.001 {
+					t.Errorf("%s seed %d P%g: got %v, want %v, rel err %v > 0.1%%",
+						name, seed, q*100, got, want, rel)
+				}
+			}
+			// Exact aggregates must be exact regardless of distribution.
+			if c.Max() != exactNearestRank(samples, 1) {
+				t.Errorf("%s seed %d: Max = %v, want %v", name, seed, c.Max(), exactNearestRank(samples, 1))
+			}
+			if c.Count() != n {
+				t.Errorf("%s seed %d: Count = %d", name, seed, c.Count())
+			}
+		}
+	}
+}

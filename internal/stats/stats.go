@@ -11,62 +11,151 @@ import (
 	"strings"
 )
 
+// Histogram geometry of the streaming LatencyCollector: log-linear (HDR
+// style) buckets with 2^latSubBits linear subbuckets per power-of-two
+// octave. A sample v >= 1 in [2^E, 2^(E+1)) lands in the subbucket whose
+// width is 2^E / 2^latSubBits, so the bucket's lower edge underestimates v
+// by at most one part in 2^latSubBits — a relative quantization error
+// bounded by 2^-10 < 0.1% on every reported percentile. Samples below 1 ns
+// clamp into the first bucket (no simulated latency is sub-nanosecond);
+// octaves cover E in [0, latOctaves), far beyond any simulated horizon.
+const (
+	latSubBits = 10
+	latSubs    = 1 << latSubBits
+	latOctaves = 64
+	latBuckets = latOctaves * latSubs
+)
+
+// latIndex maps a sample to its bucket. The exponent and mantissa come
+// straight from the float64 bit pattern: the top latSubBits mantissa bits
+// are the linear subbucket within the sample's octave.
+func latIndex(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	b := math.Float64bits(v)
+	e := int(b>>52&0x7ff) - 1023
+	sub := int(b >> (52 - latSubBits) & (latSubs - 1))
+	i := e<<latSubBits | sub
+	if i >= latBuckets {
+		return latBuckets - 1
+	}
+	return i
+}
+
+// latValue returns the lower edge of bucket i — the representative value a
+// percentile query reports for samples binned there.
+func latValue(i int) float64 {
+	return math.Ldexp(1+float64(i&(latSubs-1))/latSubs, i>>latSubBits)
+}
+
 // LatencyCollector accumulates per-packet latencies (ns) inside the
-// measurement window.
+// measurement window. The zero value is a streaming collector: Add is O(1)
+// and allocation-free after the first call, Mean/Count/Max/Min are exact,
+// and Percentile answers from a log-linear histogram with relative
+// quantization error below 0.1% (see latSubBits). Memory is a fixed bucket
+// array, independent of the sample count — the simulator's hot path retains
+// no samples. NewExactLatencyCollector returns a sample-retaining collector
+// with exact nearest-rank percentiles, for tests and offline analysis.
 type LatencyCollector struct {
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+	// counts is the streaming histogram, allocated on first Add.
+	counts []int64
+	// exact marks a sample-retaining collector; samples holds insertion
+	// order, sorted is the lazily rebuilt ascending copy (never the samples
+	// themselves: Percentile must not disturb insertion order).
+	exact   bool
 	samples []float64
-	sum     float64
-	sorted  bool
+	sorted  []float64
+}
+
+// NewExactLatencyCollector returns a collector that retains every sample
+// and answers Percentile by exact nearest-rank. Memory grows with the
+// sample count; the streaming zero value is the simulator's choice.
+func NewExactLatencyCollector() *LatencyCollector {
+	return &LatencyCollector{exact: true}
 }
 
 // Add records one latency sample.
 func (c *LatencyCollector) Add(ns float64) {
-	c.samples = append(c.samples, ns)
+	c.count++
 	c.sum += ns
-	c.sorted = false
+	if c.count == 1 || ns > c.max {
+		c.max = ns
+	}
+	if c.count == 1 || ns < c.min {
+		c.min = ns
+	}
+	if c.exact {
+		c.samples = append(c.samples, ns)
+		c.sorted = nil
+		return
+	}
+	if c.counts == nil {
+		c.counts = make([]int64, latBuckets)
+	}
+	c.counts[latIndex(ns)]++
 }
 
 // Count returns the number of samples.
-func (c *LatencyCollector) Count() int { return len(c.samples) }
+func (c *LatencyCollector) Count() int { return int(c.count) }
 
 // Mean returns the average latency, or 0 with no samples.
 func (c *LatencyCollector) Mean() float64 {
-	if len(c.samples) == 0 {
+	if c.count == 0 {
 		return 0
 	}
-	return c.sum / float64(len(c.samples))
+	return c.sum / float64(c.count)
 }
 
 // Percentile returns the q-quantile (q in [0,1]) by nearest-rank, or 0 with
-// no samples.
+// no samples. The extreme ranks (the minimum and maximum sample) are always
+// exact; interior ranks on a streaming collector carry the histogram's
+// sub-0.1% quantization error.
 func (c *LatencyCollector) Percentile(q float64) float64 {
-	if len(c.samples) == 0 {
+	if c.count == 0 {
 		return 0
 	}
-	if !c.sorted {
-		sort.Float64s(c.samples)
-		c.sorted = true
+	want := int64(math.Ceil(q * float64(c.count)))
+	if want < 1 {
+		want = 1
 	}
-	idx := int(math.Ceil(q*float64(len(c.samples)))) - 1
-	if idx < 0 {
-		idx = 0
+	if want >= c.count {
+		return c.max
 	}
-	if idx >= len(c.samples) {
-		idx = len(c.samples) - 1
+	if want == 1 {
+		return c.min
 	}
-	return c.samples[idx]
+	if c.exact {
+		if c.sorted == nil {
+			c.sorted = append([]float64(nil), c.samples...)
+			sort.Float64s(c.sorted)
+		}
+		return c.sorted[want-1]
+	}
+	var acc int64
+	for i, n := range c.counts {
+		acc += n
+		if acc >= want {
+			return latValue(i)
+		}
+	}
+	return c.max
 }
 
-// Max returns the largest sample, or 0 with no samples.
-func (c *LatencyCollector) Max() float64 {
-	if len(c.samples) == 0 {
+// Max returns the largest sample, or 0 with no samples. Tracked streaming
+// in both modes — no sort, no pass over retained samples.
+func (c *LatencyCollector) Max() float64 { return c.max }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (c *LatencyCollector) Min() float64 {
+	if c.count == 0 {
 		return 0
 	}
-	if !c.sorted {
-		sort.Float64s(c.samples)
-		c.sorted = true
-	}
-	return c.samples[len(c.samples)-1]
+	return c.min
 }
 
 // Point is one measured operating point of a latency/throughput curve.

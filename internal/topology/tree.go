@@ -269,6 +269,14 @@ func (t *Tree) SwitchDigits(id SwitchID) (digits []int, level int) {
 	return digits, level
 }
 
+// SwitchDigitsInto decodes the label digits into d, which must have length
+// n-1, and returns the level. It is the allocation-free form of SwitchDigits
+// for callers on hot paths (routing-table compilation walks every
+// (switch, LID) pair).
+func (t *Tree) SwitchDigitsInto(id SwitchID, d []int) (level int) {
+	return t.switchDigitsInto(id, d)
+}
+
 func (t *Tree) switchDigitsInto(id SwitchID, d []int) (level int) {
 	idx := int64(id)
 	if idx < int64(t.perLevel) {
