@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test ci bench bench-json bench-engine vet lint lint-fix race soak
+.PHONY: build test ci bench bench-json bench-engine vet lint lint-fix race soak shard-smoke
 
 build:
 	$(GO) build ./...
@@ -22,10 +22,12 @@ lint:
 lint-fix: lint
 
 # race runs the race detector over the packages with internal concurrency
-# (the experiment worker pool, the simulator it drives) and the packages the
-# determinism analyzers guard (sm, core), whose order-sensitive paths the
-# race pass exercises twice via the determinism regression tests. The sim and
-# experiment suites include the fault-injection paths (link death, SM traps,
+# (the experiment worker pool, the sharded simulation engine and its worker
+# goroutines, the single-engine simulator) and the packages the determinism
+# analyzers guard (sm, core), whose order-sensitive paths the race pass
+# exercises twice via the determinism regression tests. The sim suite
+# includes the shard-determinism matrix (lanes at 2/4/8 under faults and the
+# reliable transport), the fault-injection paths (link death, SM traps,
 # staged table updates, reselection) and the quick recovery study.
 race:
 	$(GO) test -race ./internal/sim/... ./internal/experiment/... ./internal/sm/... ./internal/core/...
@@ -38,21 +40,37 @@ race:
 soak:
 	$(GO) test -run 'TestChaosSoakDeterminism' -count=1 ./internal/experiment/
 
+# shard-smoke is the sharded engine's bit-compare: every determinism-matrix
+# configuration (uniform, hotspot, live faults, reliable transport) run at
+# 2/4/8 lanes must equal the single-engine result exactly, plus a repeated
+# sharded run to catch run-to-run scheduling nondeterminism.
+shard-smoke:
+	$(GO) test -run 'TestShardDeterminism' -count=1 ./internal/sim/
+
 # ci is the gate for every change: tier-1 tests plus vet, ibvet, the race
-# pass and the chaos soak.
-ci: build vet lint test race soak
+# pass, the chaos soak and the shard-determinism smoke.
+ci: build vet lint test race soak shard-smoke
+
+# BENCH_TIME / BENCH_COUNT tune the figure benchmarks: the committed defaults
+# (one iteration, run once) keep `make ci` cheap, but single-iteration numbers
+# are noisy — override both for comparable measurements, e.g.
+#   make bench-json BENCH_TIME=3x BENCH_COUNT=5
+BENCH_TIME ?= 1x
+BENCH_COUNT ?= 1
 
 # bench regenerates the figure-level benchmarks with allocation counts.
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkFig' -benchmem -benchtime 1x .
+	$(GO) test -run xxx -bench 'BenchmarkFig' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) .
 
 # bench-json runs the figure benchmarks and records ns/op and allocs/op as
 # committed JSON (BENCH_$(BENCH_PR).json), so perf gates diff against a file
-# instead of a number in a commit message. The raw text lands in bench.out
-# for inspection; only the JSON is meant to be committed.
-BENCH_PR ?= 5
+# instead of a number in a commit message. The JSON also records GOMAXPROCS
+# and the shard count per entry, so files are comparable across machines. The
+# raw text lands in bench.out for inspection; only the JSON is meant to be
+# committed.
+BENCH_PR ?= 6
 bench-json:
-	$(GO) test -run xxx -bench 'BenchmarkFig' -benchmem -benchtime 1x . | tee bench.out
+	$(GO) test -run xxx -bench 'BenchmarkFig' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) . | tee bench.out
 	$(GO) run ./cmd/benchjson < bench.out > BENCH_$(BENCH_PR).json
 	@rm -f bench.out
 	@echo wrote BENCH_$(BENCH_PR).json

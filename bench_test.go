@@ -17,8 +17,11 @@ import (
 	"mlid"
 )
 
-// benchFigure runs a reduced version of one evaluation figure.
-func benchFigure(b *testing.B, id string) {
+// benchFigure runs a reduced version of one evaluation figure. shards is the
+// per-run lane count handed to the sharded engine (0 = the auto default,
+// min(GOMAXPROCS, leaf groups)); results are bit-identical for every value,
+// so shard-parametrized runs measure wall-clock only.
+func benchFigure(b *testing.B, id string, shards int) {
 	spec, err := mlid.EvalFigureByID(id)
 	if err != nil {
 		b.Fatal(err)
@@ -29,6 +32,7 @@ func benchFigure(b *testing.B, id string) {
 	spec.VLs = []int{1, 4}
 	spec.WarmupNs = 20_000
 	spec.MeasureNs = 60_000
+	spec.Shards = shards
 
 	var fig mlid.EvalFigure
 	b.ResetTimer()
@@ -49,12 +53,23 @@ func benchFigure(b *testing.B, id string) {
 }
 
 // BenchmarkFigUniform regenerates figures F1..F4: latency vs accepted
-// traffic under uniform traffic on the four evaluation networks.
+// traffic under uniform traffic on the four evaluation networks. The largest
+// network (32-port 2-tree, 512 nodes, 32 leaf groups) additionally runs
+// shard-parametrized so BENCH_*.json records the sharded engine's scaling;
+// cmd/benchjson decodes the lane count from the "shards=N" name element.
 func BenchmarkFigUniform(b *testing.B) {
 	for i, nw := range mlid.EvalNetworks() {
-		b.Run(fmt.Sprintf("%s", nw), func(b *testing.B) {
-			benchFigure(b, fmt.Sprintf("F%d", i+1))
+		id := fmt.Sprintf("F%d", i+1)
+		b.Run(nw.String(), func(b *testing.B) {
+			benchFigure(b, id, 0)
 		})
+		if nw.M == 32 && nw.N == 2 {
+			for _, shards := range []int{1, 8} {
+				b.Run(fmt.Sprintf("%s/shards=%d", nw, shards), func(b *testing.B) {
+					benchFigure(b, id, shards)
+				})
+			}
+		}
 	}
 }
 
@@ -62,8 +77,9 @@ func BenchmarkFigUniform(b *testing.B) {
 // pattern on the four evaluation networks.
 func BenchmarkFigCentric(b *testing.B) {
 	for i, nw := range mlid.EvalNetworks() {
-		b.Run(fmt.Sprintf("%s", nw), func(b *testing.B) {
-			benchFigure(b, fmt.Sprintf("F%d", i+5))
+		id := fmt.Sprintf("F%d", i+5)
+		b.Run(nw.String(), func(b *testing.B) {
+			benchFigure(b, id, 0)
 		})
 	}
 }

@@ -12,6 +12,12 @@
 // lines (goos/goarch headers, PASS, ok) are skipped. The command exits
 // non-zero when no benchmark line was found — in CI that turns a silently
 // skipped bench run into a failure.
+//
+// To keep committed files comparable across machines, each record also
+// carries the parallelism that produced it: gomaxprocs is decoded from the
+// benchmark name's standard "-N" suffix (absent means 1), shards from a
+// "shards=N" path element (the sharded-engine benchmarks encode their lane
+// count there), and the host's "cpu:" header line is preserved verbatim.
 package main
 
 import (
@@ -23,21 +29,27 @@ import (
 	"strings"
 )
 
-// result is one parsed benchmark line.
+// result is one parsed benchmark line. GOMAXPROCS is the procs count go test
+// encodes as the name's trailing "-N" (1 when absent); Shards is the lane
+// count from a "shards=N" name element (0 when the benchmark is not
+// shard-parametrized).
 type result struct {
 	Name        string             `json:"name"`
 	Iterations  int64              `json:"iterations"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Shards      int                `json:"shards,omitempty"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// document is the emitted file; Goos/Goarch come from the bench header so a
-// committed file records what machine class produced it.
+// document is the emitted file; Goos/Goarch/CPU come from the bench header so
+// a committed file records what machine class produced it.
 type document struct {
 	Goos    string   `json:"goos,omitempty"`
 	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
 	Package string   `json:"package,omitempty"`
 	Results []result `json:"results"`
 }
@@ -71,6 +83,9 @@ func parse(sc *bufio.Scanner) (document, error) {
 		case strings.HasPrefix(line, "goarch:"):
 			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 			continue
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
 		case strings.HasPrefix(line, "pkg:"):
 			doc.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
 			continue
@@ -97,7 +112,12 @@ func parseResult(line string) (result, error) {
 	if err != nil {
 		return result{}, fmt.Errorf("iteration count in %q: %v", line, err)
 	}
-	r := result{Name: fields[0], Iterations: iters}
+	r := result{
+		Name:       fields[0],
+		Iterations: iters,
+		GOMAXPROCS: procsOf(fields[0]),
+		Shards:     shardsOf(fields[0]),
+	}
 	for i := 2; i+1 < len(fields); i += 2 {
 		val, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
@@ -117,6 +137,35 @@ func parseResult(line string) (result, error) {
 		}
 	}
 	return r, nil
+}
+
+// procsOf decodes go test's GOMAXPROCS suffix ("BenchmarkX/case-8" -> 8);
+// the suffix is omitted when GOMAXPROCS was 1.
+func procsOf(name string) int {
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
+}
+
+// shardsOf decodes a "shards=N" element of a sub-benchmark name, 0 if none.
+func shardsOf(name string) int {
+	for _, part := range strings.Split(name, "/") {
+		// Strip a possible trailing GOMAXPROCS suffix off the last element.
+		if i := strings.LastIndexByte(part, '-'); i >= 0 {
+			if _, err := strconv.Atoi(part[i+1:]); err == nil {
+				part = part[:i]
+			}
+		}
+		if rest, ok := strings.CutPrefix(part, "shards="); ok {
+			if n, err := strconv.Atoi(rest); err == nil && n > 0 {
+				return n
+			}
+		}
+	}
+	return 0
 }
 
 func addMetric(r *result, name string, val float64) {

@@ -35,6 +35,7 @@ func main() {
 		fault   = flag.Bool("fault", false, "run the recovery-transient study: a live link failure mid-measurement, SLID vs MLID")
 		chaos   = flag.Bool("chaos", false, "run the seeded chaos campaign: link flaps and switch kills with the reliable transport, SLID vs MLID")
 		quick   = flag.Bool("quick", false, "reduced load points and windows")
+		shards  = flag.Int("shards", 0, "parallel shards per simulation run; 0 = min(GOMAXPROCS, leaf groups) per network, 1 = the single-engine path; results are identical for every value")
 		chart   = flag.Bool("chart", false, "render ASCII charts to stdout")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files into")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sweeps to this file")
@@ -71,6 +72,7 @@ func main() {
 		if *quick {
 			spec = mlid.EvalRecoverySpecQuick()
 		}
+		spec.Shards = *shards
 		fmt.Printf("recovery transient: %s, link down at %d ns, uniform load %.2f B/ns/node\n",
 			spec.Network, spec.FaultNs, spec.OfferedLoad)
 		rows, err := mlid.EvalRecoveryStudy(spec)
@@ -89,6 +91,7 @@ func main() {
 		if *quick {
 			spec = mlid.EvalChaosSpecQuick()
 		}
+		spec.Shards = *shards
 		fmt.Printf("chaos campaign: %s, fault rates %v, outages %d-%d ns, %d switch kill(s), seed %d\n",
 			spec.Network, spec.FaultRates, spec.MinDownNs, spec.MaxDownNs, spec.SwitchKills, spec.Seed)
 		rows, err := mlid.EvalChaosStudy(spec)
@@ -128,6 +131,7 @@ func main() {
 	}
 
 	for _, spec := range selected {
+		spec.Shards = *shards
 		fmt.Printf("running %s ...\n", spec.Title())
 		res, err := spec.Run()
 		fatal(err)

@@ -29,12 +29,14 @@ import (
 	"mlid/internal/lint/load"
 	"mlid/internal/lint/maporder"
 	"mlid/internal/lint/pktpool"
+	"mlid/internal/lint/shardsafe"
 	"mlid/internal/lint/simdeterminism"
 )
 
 // analyzers is the ibvet suite. Order is display order in -list.
 var analyzers = []*analysis.Analyzer{
 	simdeterminism.Analyzer,
+	shardsafe.Analyzer,
 	maporder.Analyzer,
 	pktpool.Analyzer,
 	hotpath.Analyzer,

@@ -41,6 +41,10 @@ type ChaosSpec struct {
 	// Transport parameterizes the reliable transport; the zero value takes
 	// every default.
 	Transport sim.TransportConfig
+	// Shards is the per-run parallel shard count handed to sim.Config;
+	// 0 selects the auto default (see ResolveShards). Results are identical
+	// for every value.
+	Shards int
 	// Seed drives both the fault-schedule generation and the runs; the same
 	// seed reproduces the same campaign bit for bit.
 	Seed int64
@@ -201,6 +205,7 @@ func ChaosStudy(spec ChaosSpec) ([]ChaosRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	shards := ResolveShards(tr, spec.Shards)
 	rows := make([]ChaosRow, 0, 2*len(spec.FaultRates))
 	for ri, rate := range spec.FaultRates {
 		if rate <= 0 || rate > 1 {
@@ -225,6 +230,7 @@ func ChaosStudy(spec ChaosSpec) ([]ChaosRow, error) {
 				SeriesIntervalNs:  spec.SeriesIntervalNs,
 				FaultPlan:         plan,
 				Transport:         &tc,
+				Shards:            shards,
 				Seed:              spec.Seed + int64(ri),
 				HeapOnlyScheduler: spec.HeapOnlyScheduler,
 			})

@@ -42,12 +42,17 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// sinkNames are callee names (lowercased) that emit in call order.
+// sinkNames are callee names (lowercased) that emit in call order. The
+// sharded engine's barrier verbs are included: insert feeds a calendar
+// bucket whose slot order is append order, and merge/distribute move window
+// buffers between lanes in their canonical (time, sequence) order — calling
+// any of them per map key would replace that order with map iteration order.
 var sinkNames = map[string]bool{
 	"schedule": true, "send": true, "push": true, "enqueue": true,
 	"emit": true, "print": true, "printf": true, "println": true,
 	"fprint": true, "fprintf": true, "fprintln": true,
 	"write": true, "writestring": true, "writebyte": true, "writerune": true,
+	"insert": true, "merge": true, "distribute": true,
 }
 
 // sortCalls are qualified functions that establish a deterministic order for

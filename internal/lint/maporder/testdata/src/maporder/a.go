@@ -90,8 +90,8 @@ func badSend(loads map[string]float64, out chan float64) {
 // goodIndexedWrites stores into distinct keyed slots: order-independent.
 func goodIndexedWrites(src map[int]float64, dst []float64, mirror map[int]float64) {
 	for k, v := range src {
-		dst[k] = v     // keyed slot: not flagged
-		mirror[k] = v  // map write: not flagged
+		dst[k] = v    // keyed slot: not flagged
+		mirror[k] = v // map write: not flagged
 	}
 }
 
@@ -102,6 +102,29 @@ func goodIntSum(hist map[string]int) int {
 		total += n // integer accumulation: not flagged
 	}
 	return total
+}
+
+type scheduler struct {
+	slots []int
+}
+
+func (s *scheduler) insert(t int)       { s.slots = append(s.slots, t) }
+func (s *scheduler) merge(o *scheduler) { s.slots = append(s.slots, o.slots...) }
+
+// badInsert feeds a calendar in map iteration order: bucket slot order is
+// append order, so the resulting event order follows the map.
+func badInsert(s *scheduler, pending map[int]int) {
+	for _, t := range pending {
+		s.insert(t) // want `call to s\.insert inside range over map`
+	}
+}
+
+// badMerge merges per-shard buffers in map iteration order instead of the
+// canonical lane order.
+func badMerge(dst *scheduler, lanes map[int]*scheduler) {
+	for _, l := range lanes {
+		dst.merge(l) // want `call to dst\.merge inside range over map`
+	}
 }
 
 // goodLocalBuilder builds a per-entry string stored by key.

@@ -1,0 +1,144 @@
+// Package shardsafe enforces the sharded engine's barrier discipline: state
+// that one shard publishes for other shards — window call logs, cross-shard
+// packet snapshots, outboxes — is only coherent while the worker goroutines
+// are parked at a barrier (or while the owning lane is alone inside its
+// window). Reading another lane's buffers from arbitrary code is a data race
+// that the race detector only catches when the schedule happens to expose it;
+// this analyzer makes the discipline static.
+//
+// The contract is comment-driven, like a lock annotation:
+//
+//   - a struct field whose doc (or trailing) comment contains the marker
+//     "shardsafe: barrier-only" is declared barrier-protocol state;
+//   - a function or method whose doc comment contains the marker
+//     "shardsafe: barrier" is an audited participant in the barrier protocol
+//     (it runs while workers are parked, or touches only the executing lane's
+//     own buffers inside its window);
+//   - every access to a marked field outside an audited function is reported.
+//
+// New code that reaches into the window buffers is therefore forced through
+// an explicit audit: either it belongs to the protocol and gets the marker
+// (with the reasoning in its doc comment), or it is a bug. Test files are
+// exempt — they run the engine through Run, which serializes at barriers.
+package shardsafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mlid/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shardsafe",
+	Doc:  "restrict access to barrier-only sharded-engine state to audited barrier-protocol functions",
+	Run:  run,
+}
+
+const (
+	fieldMarker = "shardsafe: barrier-only"
+	funcMarker  = "shardsafe: barrier"
+)
+
+func run(pass *analysis.Pass) error {
+	marked := markedFields(pass)
+	if len(marked) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if hasMarker(d.Doc, funcMarker) || d.Body == nil {
+					continue
+				}
+				checkBody(pass, marked, d)
+			case *ast.GenDecl:
+				// Package-level initializers never hold the barrier.
+				checkInit(pass, marked, d)
+			}
+		}
+	}
+	return nil
+}
+
+// markedFields collects the objects of struct fields whose comments carry the
+// barrier-only marker.
+func markedFields(pass *analysis.Pass) map[types.Object]string {
+	marked := map[types.Object]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !hasMarker(field.Doc, fieldMarker) && !hasMarker(field.Comment, fieldMarker) {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.ObjectOf(name); obj != nil {
+						marked[obj] = name.Name
+					}
+				}
+			}
+			return true
+		})
+	}
+	return marked
+}
+
+// hasMarker reports whether the comment group contains the marker string.
+func hasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	return strings.Contains(cg.Text(), marker)
+}
+
+// checkBody reports every selector access to a marked field inside an
+// unaudited function.
+func checkBody(pass *analysis.Pass, marked map[types.Object]string, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		reportMarkedUse(pass, marked, n, fd.Name.Name)
+		return true
+	})
+}
+
+// checkInit applies the same rule to package-level value specs.
+func checkInit(pass *analysis.Pass, marked map[types.Object]string, gd *ast.GenDecl) {
+	ast.Inspect(gd, func(n ast.Node) bool {
+		reportMarkedUse(pass, marked, n, "package initialization")
+		return true
+	})
+}
+
+// reportMarkedUse flags one node if it is a reference to a marked field:
+// either a selector access (x.f) or a keyed use in a composite literal
+// (T{f: ...}).
+func reportMarkedUse(pass *analysis.Pass, marked map[types.Object]string, n ast.Node, where string) {
+	var id *ast.Ident
+	switch x := n.(type) {
+	case *ast.SelectorExpr:
+		id = x.Sel
+	case *ast.KeyValueExpr:
+		k, ok := x.Key.(*ast.Ident)
+		if !ok {
+			return
+		}
+		id = k
+	default:
+		return
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	if name, ok := marked[obj]; ok {
+		pass.Reportf(id.Pos(), "access to barrier-only field %s in %s, which is not marked \"%s\": cross-shard window state is only coherent at barriers", name, where, funcMarker)
+	}
+}

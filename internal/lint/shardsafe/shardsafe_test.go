@@ -1,0 +1,11 @@
+package shardsafe
+
+import (
+	"testing"
+
+	"mlid/internal/lint/linttest"
+)
+
+func TestShardsafe(t *testing.T) {
+	linttest.Run(t, Analyzer, "shardsafe")
+}

@@ -1,0 +1,69 @@
+// Package shardsafe is the fixture for the shardsafe analyzer: a miniature
+// sharded engine with barrier-only window buffers, audited barrier-protocol
+// functions, and unaudited code that reaches into the buffers.
+package shardsafe
+
+type call struct {
+	t   int64
+	vgs uint64
+}
+
+type lane struct {
+	id  int
+	now int64
+	// calls is the lane's window call log, appended while the lane runs its
+	// window and read by the coordinator's replay.
+	// shardsafe: barrier-only
+	calls []call
+	// outbox holds cross-shard handoffs, one slice per target lane.
+	// shardsafe: barrier-only
+	outbox [][]int32
+	// scratch is lane-private; unmarked fields are never restricted.
+	scratch []int
+}
+
+// record appends to the executing lane's own window log.
+// shardsafe: barrier — runs inside the lane's window on its own buffers.
+func (l *lane) record(c call) {
+	l.calls = append(l.calls, c)
+	l.outbox[0] = append(l.outbox[0], 1)
+}
+
+// replay merges every lane's log while the workers are parked.
+// shardsafe: barrier — coordinator phase, workers parked.
+func replay(lanes []*lane) {
+	for _, l := range lanes {
+		_ = l.calls
+		_ = l.outbox
+	}
+}
+
+// peek reads another lane's window log with no barrier held.
+func peek(l *lane) int {
+	n := len(l.calls)    // want `barrier-only field calls in peek`
+	for range l.outbox { // want `barrier-only field outbox in peek`
+		n++
+	}
+	l.scratch = append(l.scratch, n) // unmarked: fine
+	return n
+}
+
+// build constructs a lane outside the protocol; keyed composite literals
+// count as accesses too.
+func build() *lane {
+	return &lane{
+		id:     1,
+		calls:  nil, // want `barrier-only field calls in build`
+		outbox: nil, // want `barrier-only field outbox in build`
+	}
+}
+
+// newLane is the audited constructor.
+// shardsafe: barrier — lanes are built before any worker starts.
+func newLane(id int) *lane {
+	return &lane{id: id, calls: nil, outbox: make([][]int32, 1)}
+}
+
+var bootstrap = &lane{
+	calls: []call{{t: 1}}, // want `barrier-only field calls in package initialization`
+}

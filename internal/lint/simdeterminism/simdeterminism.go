@@ -16,6 +16,13 @@
 //     randomness must flow from the run's seeded *rand.Rand;
 //   - process-environment entropy (os.Getpid, os.Getenv, os.Hostname, ...)
 //     and crypto/rand;
+//   - host CPU-count reads (runtime.NumCPU, runtime.GOMAXPROCS) in the
+//     simulator core (sim, sm, core): the sharded engine is bit-identical
+//     across shard counts, but that holds because the shard count flows in
+//     through sim.Config and nothing inside the engine consults the host.
+//     The experiment harness is exempt — it legitimately sizes worker pools
+//     and default shard counts from GOMAXPROCS, which affects wall-clock
+//     only, never results;
 //   - select statements with two or more channel cases: when several cases
 //     are ready the runtime picks one uniformly at random.
 //
@@ -61,12 +68,19 @@ var osFuncs = map[string]bool{
 	"Environ": true, "Hostname": true,
 }
 
+// cpuFuncs read the host's CPU configuration. Forbidden in the engine core
+// (the shard count must arrive via sim.Config so a run is reproducible from
+// its configuration alone); allowed in the experiment harness, whose worker
+// pools and auto shard defaults change wall-clock but never results.
+var cpuFuncs = map[string]bool{"NumCPU": true, "GOMAXPROCS": true}
+
 func run(pass *analysis.Pass) error {
 	leaf := pass.Path
 	if i := strings.LastIndexByte(leaf, '/'); i >= 0 {
 		leaf = leaf[i+1:]
 	}
-	if !corePackages[strings.TrimSuffix(leaf, "_test")] {
+	pkg := strings.TrimSuffix(leaf, "_test")
+	if !corePackages[pkg] {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -105,6 +119,10 @@ func run(pass *analysis.Pass) error {
 				case "os":
 					if osFuncs[name] {
 						pass.Reportf(n.Pos(), "os.%s in simulator code: process-environment entropy breaks run reproducibility", name)
+					}
+				case "runtime":
+					if cpuFuncs[name] && pkg != "experiment" {
+						pass.Reportf(n.Pos(), "runtime.%s in the engine core: the shard count must flow in through sim.Config, not from the host CPU configuration", name)
 					}
 				}
 			case *ast.SelectStmt:

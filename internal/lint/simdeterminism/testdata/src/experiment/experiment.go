@@ -5,6 +5,7 @@ package experiment
 
 import (
 	"math/rand"
+	"runtime"
 	"time"
 )
 
@@ -16,6 +17,12 @@ func (s *study) badSeedPick() int64 {
 	// A study must never derive its seeds or windows from the environment.
 	base := time.Now().UnixNano()       // want `call to time\.Now in simulator code`
 	return base + int64(rand.Intn(100)) // want `global math/rand Intn in simulator code`
+}
+
+func (s *study) goodWorkerPool() int {
+	// Negative case: the harness may size worker pools and auto shard
+	// defaults from the host — wall-clock only, results are shard-invariant.
+	return runtime.GOMAXPROCS(0) + runtime.NumCPU()
 }
 
 func (s *study) goodSeedPick(i int) int64 {

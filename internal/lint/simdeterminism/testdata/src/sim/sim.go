@@ -5,6 +5,7 @@ package sim
 import (
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 )
 
@@ -19,24 +20,32 @@ func newEngine(seed int64) *engine {
 }
 
 func (e *engine) badEntropy() int64 {
-	t := time.Now() // want `call to time\.Now in simulator code`
+	t := time.Now()                     // want `call to time\.Now in simulator code`
 	_ = time.Since(time.Unix(0, e.now)) // want `call to time\.Since in simulator code`
-	jitter := rand.Intn(10) // want `global math/rand Intn in simulator code`
-	_ = rand.Float64()      // want `global math/rand Float64 in simulator code`
-	pid := os.Getpid() // want `os\.Getpid in simulator code`
-	_ = os.Getenv("SEED") // want `os\.Getenv in simulator code`
+	jitter := rand.Intn(10)             // want `global math/rand Intn in simulator code`
+	_ = rand.Float64()                  // want `global math/rand Float64 in simulator code`
+	pid := os.Getpid()                  // want `os\.Getpid in simulator code`
+	_ = os.Getenv("SEED")               // want `os\.Getenv in simulator code`
 	return t.UnixNano() + int64(jitter) + int64(pid)
 }
 
 func (e *engine) badTimers() {
 	// A transport-style retransmit timeout must be an event on the
 	// simulation clock, never a runtime timer.
-	time.Sleep(10 * time.Millisecond) // want `time\.Sleep in simulator code`
-	_ = time.After(time.Second)       // want `time\.After in simulator code`
-	_ = time.Tick(time.Second)        // want `time\.Tick in simulator code`
+	time.Sleep(10 * time.Millisecond)          // want `time\.Sleep in simulator code`
+	_ = time.After(time.Second)                // want `time\.After in simulator code`
+	_ = time.Tick(time.Second)                 // want `time\.Tick in simulator code`
 	_ = time.AfterFunc(time.Second, func() {}) // want `time\.AfterFunc in simulator code`
 	_ = time.NewTimer(time.Second)             // want `time\.NewTimer in simulator code`
 	_ = time.NewTicker(time.Second)            // want `time\.NewTicker in simulator code`
+}
+
+func (e *engine) badShardDefault() int {
+	// The engine must take its shard count from the configuration; sizing it
+	// from the host makes the partition machine-dependent.
+	n := runtime.NumCPU()      // want `runtime\.NumCPU in the engine core`
+	n += runtime.GOMAXPROCS(0) // want `runtime\.GOMAXPROCS in the engine core`
+	return n
 }
 
 func (e *engine) goodEntropy() int64 {

@@ -159,6 +159,15 @@ type Config struct {
 	Transport *TransportConfig
 	// Seed makes the run reproducible.
 	Seed int64
+	// Shards partitions the fabric into that many per-leaf-group event
+	// engines run on worker goroutines under a conservative time-window
+	// barrier (see DESIGN.md, "Sharded engine and conservative lookahead").
+	// Results are bit-for-bit identical for every value: 0 or 1 keeps the
+	// classic single-engine path, and any N is clamped to the tree's leaf
+	// group count. Configurations the sharded path cannot serve exactly
+	// (packet tracing, an external LatencyHist sink, FlyNs < 1) silently
+	// run single-engine.
+	Shards int
 	// HeapOnlyScheduler disables the engine's calendar-queue fast path so
 	// every event takes the fallback heap. Results must not depend on it:
 	// it exists so determinism suites outside this package (the chaos soak)
@@ -265,6 +274,9 @@ func (c Config) validate() error {
 	}
 	if c.Pattern == nil {
 		return fmt.Errorf("sim: Config.Pattern is required")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("sim: Shards must be >= 0, got %d", c.Shards)
 	}
 	if c.DataVLs < 1 || c.DataVLs > 15 {
 		return fmt.Errorf("sim: DataVLs must be 1..15 (IBA allows up to 15 data VLs), got %d", c.DataVLs)

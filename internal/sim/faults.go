@@ -295,16 +295,29 @@ func (s *Sim) linkEnds(sw int32, port int) (a, b int32) {
 
 // linkDown kills both directions of the link: packets buffered on the dead
 // out-ports are dropped (their held credits return so upstream state stays
-// consistent), and the link is recorded for the next SM sweep.
+// consistent), and the link is recorded for the next SM sweep. The sharded
+// coordinator calls the two halves — killPort on each transmitter's owning
+// lane, markLinkDown once — instead of this wrapper.
 func (s *Sim) linkDown(sw int32, port int) {
 	a, b := s.linkEnds(sw, port)
-	for _, pid := range [2]int32{a, b} {
-		if pid < 0 || s.ports[pid].dead {
-			continue
-		}
-		s.ports[pid].dead = true
-		s.flushDead(pid)
+	s.killPort(a)
+	s.killPort(b)
+	s.markLinkDown(sw, port)
+}
+
+// killPort marks one transmitting port dead and drops everything buffered on
+// it. Idempotent; a noPort id is ignored.
+func (s *Sim) killPort(pid int32) {
+	if pid < 0 || s.ports[pid].dead {
+		return
 	}
+	s.ports[pid].dead = true
+	s.flushDead(pid)
+}
+
+// markLinkDown records the dead link for the next SM sweep (deduplicated) and
+// stamps the first-failure time.
+func (s *Sim) markLinkDown(sw int32, port int) {
 	for _, e := range s.faults.deadLinks {
 		if e == [2]int32{sw, int32(port)} {
 			return

@@ -1,0 +1,741 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mlid/internal/topology"
+)
+
+// Sharded parallel execution (Config.Shards > 1).
+//
+// The fabric is partitioned into per-leaf-group lanes (topology.ShardOfSwitch
+// / ShardOfNode): each lane is a shallow copy of one master Sim that owns the
+// ports, queues, flow-control state and endnodes of its shard plus a private
+// event engine, packet slab and statistics collectors, while sharing the big
+// read-mostly arrays (forwarding tables, topology, port metadata) with every
+// other lane. Lanes run on worker goroutines under a conservative time-window
+// barrier: all pending events across all lanes sit at or after some time T,
+// and because every cross-shard event the model can produce travels a link
+// (min delay Config.FlyNs), nothing a lane executes inside [T, T+FlyNs) can
+// affect another lane inside the same window. Each window, every lane
+// executes its local events up to the bound, recording every schedule() call
+// it makes; a serial barrier replay then merges the per-lane execution logs
+// in global (time, sequence) order and assigns each recorded call the virtual
+// global sequence number (VGS) the classic single-engine run would have
+// assigned, after which lanes insert the handed-off events — sorted by VGS —
+// into their engines and the next window begins.
+//
+// The VGS replay is what makes the result bit-for-bit identical to the
+// single-engine run for every shard count: event keys (t, seq) come out
+// exactly equal to the sequential engine's, so every queue, arbiter,
+// round-robin pointer and RNG draws in the identical order. Events that read
+// state spanning shards — fault injection, SM traps and table updates, and
+// exhausted retransmit timers (whose handler reads the receiver's PSN state)
+// — never run inside a window: they are "globals", executed by the
+// coordinator between windows when every lane has drained strictly below
+// their key. See DESIGN.md, "Sharded engine and conservative lookahead".
+
+// laneGlobal marks an event owned by the coordinator, not any lane.
+const laneGlobal = -1
+
+// Worker commands (shardCtx.cmds).
+const (
+	cmdWindow = iota
+	cmdDistribute
+)
+
+// laneCall is one schedule() call recorded during a window, in call order.
+// Its position in the log defines its provisional key (c0 + index + 1); the
+// barrier replay fills vgs with the true global sequence number.
+type laneCall struct {
+	ev     event
+	vgs    uint64
+	xp     int32 // index into the lane's xpkts for a cross-shard packet copy; -1 otherwise
+	target int16 // destination lane, or laneGlobal
+	// executed marks a self-targeted call already dispatched inside the same
+	// window (via the window heap) — the distribute phase must not re-insert
+	// it.
+	executed bool
+}
+
+// laneExec is one event executed during a window, in local execution order.
+// key is the event's engine sequence (a true VGS) or, for an event scheduled
+// and executed inside the same window, its provisional key (> the window's
+// c0). firstCall/nCalls delimit the schedule() calls its handler made.
+type laneExec struct {
+	t         Time
+	key       uint64
+	firstCall int32
+	nCalls    int32
+}
+
+// shardCtx is a lane's window-recording state plus its link back to the
+// coordinator. The master Sim carries one too (id laneGlobal) so its setup
+// scheduling routes through the coordinator.
+type shardCtx struct {
+	id  int
+	run *shardedRun
+
+	// Window recording: the call log, the execution log, copies of packets
+	// handed across shards, and the per-destination outboxes (indices into
+	// calls). globalOut collects calls targeting the coordinator. Other lanes
+	// and the coordinator read these buffers, so they are only coherent at
+	// barriers (or from the owning lane inside its window); the shardsafe
+	// analyzer restricts access to audited protocol functions.
+	calls     []laneCall // shardsafe: barrier-only
+	execs     []laneExec // shardsafe: barrier-only
+	xpkts     []pkt      // shardsafe: barrier-only
+	outbox    [][]int32  // shardsafe: barrier-only
+	globalOut []int32    // shardsafe: barrier-only
+
+	// winHeap holds self-targeted calls due inside the current window,
+	// keyed by (t, provisional sequence).
+	winHeap eventHeap
+
+	// insertBuf is the distribute phase's scratch batch, reused across
+	// windows.
+	insertBuf []event
+
+	// errSeen latches the first window in which the lane's Sim recorded an
+	// error; errExec is that window's failing execution-log index, consumed
+	// (and reset to -1) by the barrier replay.
+	errSeen bool
+	errExec int32
+
+	cmds chan int
+}
+
+// shardedRun is the coordinator: the master Sim (holds configuration and
+// receives the merged results), the lanes, the global event heap, and the
+// virtual-global-sequence counter.
+type shardedRun struct {
+	master *Sim
+	lanes  []*Sim
+	n      int
+
+	laneOfSw   []int16
+	laneOfNode []int16
+	laneOfPid  []int16
+
+	// counter is the virtual global sequence: it replicates, across all
+	// lanes, exactly the sequence numbering the single engine would have
+	// assigned. c0 snapshots it at each window start; boundT/boundSeq is the
+	// current window's exclusive (t, seq) bound; recording flips on only
+	// while workers execute a window.
+	counter   uint64
+	c0        uint64
+	boundT    Time
+	boundSeq  uint64
+	recording bool
+
+	// lookahead is the minimum cross-shard event delay: every cross-shard
+	// event travels a link, so FlyNs.
+	lookahead Time
+
+	// globals holds coordinator-executed events keyed by (t, vgs).
+	globals eventHeap
+
+	// maxExecT / events track the merged run's end time and event count.
+	maxExecT Time
+	events   int64
+
+	curBuf []int
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// effectiveShards resolves Config.Shards to the lane count a run will use:
+// 0/1 (or any configuration the sharded path cannot reproduce exactly) is the
+// classic single-engine path, anything larger is clamped to the tree's leaf
+// group count. Packet tracing and an external LatencyHist observe per-packet
+// state in engine order from a single collector, and a FlyNs below 1 ns
+// leaves no conservative lookahead window — those run single-engine.
+func (c Config) effectiveShards() int {
+	n := c.Shards
+	if n <= 1 {
+		return 1
+	}
+	if c.TracePackets > 0 || c.LatencyHist != nil || c.FlyNs < 1 {
+		return 1
+	}
+	if max := c.Subnet.Tree.MaxShards(); n > max {
+		n = max
+	}
+	return n
+}
+
+// runSharded executes one simulation on n lanes. The setup — fault plan and
+// generator seeding — runs single-threaded on the master in exactly the
+// classic order, so the virtual global sequence starts out identical; the
+// window loop then preserves it event by event.
+func runSharded(cfg Config, n int) (Result, error) {
+	master := build(cfg)
+	master.end = cfg.WarmupNs + cfg.MeasureNs
+
+	r := newShardedRun(master, n)
+
+	master.scheduleFaults()
+	ia := master.interarrival()
+	for i := range master.nodes {
+		nd := &master.nodes[i]
+		nd.genPhase = nd.rng.Float64() * ia
+		master.schedule(genTimeAt(nd.genPhase, ia, 0), event{kind: evGenerate, a: int32(i)})
+	}
+
+	horizon := master.end
+	if master.transport != nil {
+		horizon += master.transport.cfg.DrainNs
+	}
+	r.run(horizon)
+	r.merge()
+	if master.err != nil {
+		return Result{}, master.err
+	}
+	return master.buildResult(horizon, r.events), nil
+}
+
+func newShardedRun(master *Sim, n int) *shardedRun {
+	t := master.tree
+	S, M, N := t.Switches(), t.M(), t.Nodes()
+	r := &shardedRun{
+		master:     master,
+		n:          n,
+		laneOfSw:   make([]int16, S),
+		laneOfNode: make([]int16, N),
+		laneOfPid:  make([]int16, S*M+N),
+		lookahead:  master.cfg.FlyNs,
+		curBuf:     make([]int, n),
+		done:       make(chan struct{}, n),
+	}
+	for sw := 0; sw < S; sw++ {
+		lane := int16(t.ShardOfSwitch(n, topology.SwitchID(sw)))
+		r.laneOfSw[sw] = lane
+		for k := 0; k < M; k++ {
+			r.laneOfPid[sw*M+k] = lane
+		}
+	}
+	for i := 0; i < N; i++ {
+		lane := int16(t.ShardOfNode(n, topology.NodeID(i)))
+		r.laneOfNode[i] = lane
+		r.laneOfPid[int(master.srcBase)+i] = lane
+	}
+	r.lanes = make([]*Sim, n)
+	for id := 0; id < n; id++ {
+		r.lanes[id] = r.newLane(id)
+	}
+	// The master routes its setup scheduling through the coordinator but
+	// never executes events itself.
+	master.shard = &shardCtx{id: laneGlobal, run: r}
+	return r
+}
+
+// newLane builds lane id as a shallow copy of the master: shared read-mostly
+// arrays and partitioned-by-ownership model state, with a private engine,
+// packet slab, statistics and transport counters.
+//
+// shardsafe: barrier — lanes are constructed before any worker starts.
+func (r *shardedRun) newLane(id int) *Sim {
+	l := &Sim{}
+	*l = *r.master
+	l.engine = engine{heapOnly: r.master.engine.heapOnly}
+	if r.master.transport != nil {
+		tr := *r.master.transport
+		l.transport = &tr
+	}
+	l.shard = &shardCtx{
+		id:      id,
+		run:     r,
+		outbox:  make([][]int32, r.n),
+		errExec: -1,
+		cmds:    make(chan int, 1),
+	}
+	return l
+}
+
+// route returns the lane owning an event, or laneGlobal for the coordinator:
+// fault and SM events (they touch arbitrary shards' ports and the shared
+// tables), and a retransmit timer whose budget is exhausted — its handler
+// reads the receiver's PSN state, which lives on the destination's lane. The
+// head's attempt count is frozen between arming and firing (any change
+// re-arms a fresh timer, invalidating this one), so classifying at arm time
+// is exact.
+func (r *shardedRun) route(s *Sim, ev event) int {
+	switch ev.kind {
+	case evGenerate, evNodeArrive, evDeliver:
+		return int(r.laneOfNode[ev.a])
+	case evRoute, evSwArrive:
+		return int(r.laneOfSw[ev.a])
+	case evCredit, evKick, evRelease:
+		return int(r.laneOfPid[ev.a])
+	case evRexmit:
+		if tp := s.transport; tp != nil {
+			if f := &tp.tx[ev.a]; len(f.unacked) > 0 && int(f.unacked[0].attempts) >= tp.cfg.MaxRetries {
+				return laneGlobal
+			}
+		}
+		return int(r.laneOfNode[int(ev.a)/s.tree.Nodes()])
+	default:
+		return laneGlobal
+	}
+}
+
+// scheduleSharded is the sharded engine's schedule(): outside a window (setup
+// and coordinator-executed globals) it assigns the next virtual global
+// sequence number and inserts directly; inside a window it appends to the
+// lane's call log under a provisional key, staging self-targeted calls due
+// before the bound into the window heap and everything else into an outbox
+// for the barrier.
+//
+// shardsafe: barrier — appends only to the executing lane's own buffers
+// inside its window (setup-time calls run with no workers live).
+func (sh *shardCtx) scheduleSharded(s *Sim, t Time, ev event) {
+	r := sh.run
+	if t < s.engine.now {
+		t = s.engine.now
+	}
+	ev.t = t
+	tgt := r.route(s, ev)
+	if !r.recording {
+		r.counter++
+		ev.seq = r.counter
+		if tgt == laneGlobal {
+			r.globals.push(ev)
+			return
+		}
+		r.lanes[tgt].engine.insert(ev)
+		return
+	}
+	ci := int32(len(sh.calls))
+	c := laneCall{ev: ev, target: int16(tgt), xp: -1}
+	switch {
+	case tgt == sh.id:
+		if t < r.boundT {
+			ev.seq = r.c0 + uint64(ci) + 1
+			sh.winHeap.push(ev)
+		}
+	case tgt == laneGlobal:
+		sh.globalOut = append(sh.globalOut, ci)
+	default:
+		if ev.kind == evSwArrive {
+			// The packet changes owner: copy it into the handoff buffer and
+			// recycle the handle — the sender never touches it again, and the
+			// receiver re-materializes it in its own slab at the barrier.
+			p := s.pktAt(ev.pi)
+			c.xp = int32(len(sh.xpkts))
+			sh.xpkts = append(sh.xpkts, *p)
+			s.freePkt(p)
+		} else if ev.kind != evCredit {
+			s.fail(fmt.Errorf("sim: event kind %d crossed shards outside the barrier (sharding bug)", ev.kind))
+		}
+		sh.outbox[tgt] = append(sh.outbox[tgt], ci)
+	}
+	sh.calls = append(sh.calls, c)
+}
+
+// shardPopNext removes the lane's earliest pending event strictly below the
+// (bt, bseq) bound, considering both the engine (true-VGS keys) and the
+// window heap (provisional keys; provisional keys exceed every engine key of
+// the window, so at equal times the engine side correctly wins).
+func (l *Sim) shardPopNext(bt Time, bseq uint64) (event, bool) {
+	sh := l.shard
+	et, eseq, eok := l.engine.peekKey()
+	if len(sh.winHeap) > 0 {
+		w := sh.winHeap[0]
+		if !eok || w.t < et || (w.t == et && w.seq < eseq) {
+			if w.t > bt || (w.t == bt && w.seq >= bseq) {
+				return event{}, false
+			}
+			ev := sh.winHeap.pop()
+			l.engine.now = ev.t
+			return ev, true
+		}
+	}
+	if !eok {
+		return event{}, false
+	}
+	return l.engine.popBound(bt, bseq)
+}
+
+// shardRunWindow executes the lane's events up to the window bound, logging
+// each execution and the calls it makes.
+//
+// shardsafe: barrier — touches only the executing lane's own logs.
+func (l *Sim) shardRunWindow() {
+	sh := l.shard
+	r := sh.run
+	bt, bseq := r.boundT, r.boundSeq
+	for {
+		ev, ok := l.shardPopNext(bt, bseq)
+		if !ok {
+			break
+		}
+		if ev.seq > r.c0 {
+			sh.calls[int(ev.seq-r.c0-1)].executed = true
+		}
+		fc := int32(len(sh.calls))
+		l.dispatch(ev)
+		if l.err != nil && !sh.errSeen {
+			sh.errSeen = true
+			sh.errExec = int32(len(sh.execs))
+		}
+		sh.execs = append(sh.execs, laneExec{
+			t: ev.t, key: ev.seq, firstCall: fc, nCalls: int32(len(sh.calls)) - fc,
+		})
+	}
+}
+
+// shardDistribute inserts the lane's share of the window's recorded calls
+// into its engine: its own not-yet-executed self-targeted calls plus every
+// other lane's outbox for it, sorted by VGS so calendar buckets keep their
+// append-order-is-seq-order invariant. Cross-shard packets are
+// re-materialized in the receiving lane's slab here.
+//
+// shardsafe: barrier — runs in the distribute phase, when every lane has
+// finished its window and the logs are frozen read-only.
+func (l *Sim) shardDistribute() {
+	sh := l.shard
+	r := sh.run
+	buf := sh.insertBuf[:0]
+	for i := range sh.calls {
+		c := &sh.calls[i]
+		if int(c.target) != sh.id || c.executed {
+			continue
+		}
+		ev := c.ev
+		ev.seq = c.vgs
+		buf = append(buf, ev)
+	}
+	for _, src := range r.lanes {
+		if src == l {
+			continue
+		}
+		ssh := src.shard
+		for _, ci := range ssh.outbox[sh.id] {
+			c := &ssh.calls[ci]
+			ev := c.ev
+			ev.seq = c.vgs
+			if c.xp >= 0 {
+				q := l.newPkt()
+				idx := q.idx
+				*q = ssh.xpkts[c.xp]
+				q.idx = idx
+				ev.pi = idx
+			}
+			buf = append(buf, ev)
+		}
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i].seq < buf[j].seq })
+	for _, ev := range buf {
+		l.engine.insert(ev)
+	}
+	sh.insertBuf = buf
+}
+
+// worker is one lane's goroutine: it parks on its command channel and runs
+// window and distribute phases until the channel closes. All coordination is
+// single-case channel operations — deterministic, no selects.
+func (r *shardedRun) worker(l *Sim) {
+	defer r.wg.Done()
+	for cmd := range l.shard.cmds {
+		if cmd == cmdWindow {
+			l.shardRunWindow()
+		} else {
+			l.shardDistribute()
+		}
+		r.done <- struct{}{}
+	}
+}
+
+// replay is the serial barrier step: it merges the lanes' execution logs in
+// global (t, key) order — resolving provisional keys through the call log,
+// which is always possible because a provisionally-keyed event's scheduler
+// sits earlier in the same lane's log — and assigns each recorded call its
+// virtual global sequence number in exactly the order the single engine
+// would have. It then forwards worker-recorded globals to the coordinator
+// heap and settles the window's first error, if any.
+//
+// shardsafe: barrier — serial coordinator step, all workers parked.
+func (r *shardedRun) replay() {
+	cur := r.curBuf
+	for i := range cur {
+		cur[i] = 0
+	}
+	for {
+		best := -1
+		var bt Time
+		var bk uint64
+		for li, l := range r.lanes {
+			sh := l.shard
+			ci := cur[li]
+			if ci >= len(sh.execs) {
+				continue
+			}
+			ex := &sh.execs[ci]
+			k := ex.key
+			if k > r.c0 {
+				k = sh.calls[int(k-r.c0-1)].vgs
+			}
+			if best < 0 || ex.t < bt || (ex.t == bt && k < bk) {
+				best, bt, bk = li, ex.t, k
+			}
+		}
+		if best < 0 {
+			break
+		}
+		sh := r.lanes[best].shard
+		ex := &sh.execs[cur[best]]
+		for j := int32(0); j < ex.nCalls; j++ {
+			r.counter++
+			sh.calls[ex.firstCall+j].vgs = r.counter
+		}
+		r.events++
+		if ex.t > r.maxExecT {
+			r.maxExecT = ex.t
+		}
+		cur[best]++
+	}
+	for _, l := range r.lanes {
+		sh := l.shard
+		for _, ci := range sh.globalOut {
+			c := &sh.calls[ci]
+			gev := c.ev
+			gev.seq = c.vgs
+			r.globals.push(gev)
+		}
+	}
+	if r.master.err == nil {
+		best := -1
+		var bt Time
+		var bk uint64
+		for li, l := range r.lanes {
+			sh := l.shard
+			if sh.errExec < 0 {
+				continue
+			}
+			ex := &sh.execs[sh.errExec]
+			k := ex.key
+			if k > r.c0 {
+				k = sh.calls[int(k-r.c0-1)].vgs
+			}
+			if best < 0 || ex.t < bt || (ex.t == bt && k < bk) {
+				best, bt, bk = li, ex.t, k
+			}
+		}
+		if best >= 0 {
+			r.master.err = r.lanes[best].err
+		}
+	}
+	for _, l := range r.lanes {
+		l.shard.errExec = -1
+	}
+}
+
+// window runs one barrier cycle: parallel execution up to the bound, serial
+// VGS replay, parallel handoff insertion, serial buffer reset.
+//
+// shardsafe: barrier — the buffer reset runs after the distribute barrier,
+// with all workers parked.
+func (r *shardedRun) window(bt Time, bseq uint64) {
+	r.c0 = r.counter
+	r.boundT, r.boundSeq = bt, bseq
+	r.recording = true
+	for _, l := range r.lanes {
+		l.shard.cmds <- cmdWindow
+	}
+	for range r.lanes {
+		<-r.done
+	}
+	r.recording = false
+	r.replay()
+	for _, l := range r.lanes {
+		l.shard.cmds <- cmdDistribute
+	}
+	for range r.lanes {
+		<-r.done
+	}
+	// Reset the window buffers only now: during distribute every lane reads
+	// every other lane's call log.
+	for _, l := range r.lanes {
+		sh := l.shard
+		sh.calls = sh.calls[:0]
+		sh.execs = sh.execs[:0]
+		sh.xpkts = sh.xpkts[:0]
+		sh.globalOut = sh.globalOut[:0]
+		for i := range sh.outbox {
+			sh.outbox[i] = sh.outbox[i][:0]
+		}
+		sh.winHeap = sh.winHeap[:0]
+	}
+}
+
+// executeGlobal runs one coordinator event under the barrier: every lane's
+// clock advances to its time (every lane has drained strictly below its key,
+// so no clock moves backward), and the handler runs on the Sim owning the
+// state it touches, so its counters and any events it schedules land on the
+// right lane.
+func (r *shardedRun) executeGlobal(ev event) {
+	for _, l := range r.lanes {
+		l.engine.now = ev.t
+	}
+	if ev.t > r.maxExecT {
+		r.maxExecT = ev.t
+	}
+	r.events++
+	l0 := r.lanes[0]
+	switch ev.kind {
+	case evLinkDown:
+		a, b := l0.linkEnds(ev.a, int(ev.b))
+		if a >= 0 {
+			r.lanes[r.laneOfPid[a]].killPort(a)
+		}
+		if b >= 0 {
+			r.lanes[r.laneOfPid[b]].killPort(b)
+		}
+		l0.markLinkDown(ev.a, int(ev.b))
+	case evLinkUp:
+		l0.linkUp(ev.a, int(ev.b))
+	case evTrap:
+		l0.smTrap()
+	case evLFTUpdate:
+		l0.applyLFTUpdate(int(ev.a))
+	case evRexmit:
+		src := ev.a / int32(l0.tree.Nodes())
+		r.lanes[r.laneOfNode[src]].rexmitTimer(ev.a, ev.b)
+	default:
+		l0.fail(fmt.Errorf("sim: unknown event kind %d (engine bug)", ev.kind))
+	}
+	if r.master.err == nil {
+		for _, l := range r.lanes {
+			if l.err != nil {
+				r.master.err = l.err
+				l.shard.errSeen = true
+				break
+			}
+		}
+	}
+}
+
+// run is the coordinator loop: execute due globals, open a window bounded by
+// the lookahead (cut early at the next global's key and capped at the
+// horizon), repeat until nothing at or before the horizon remains.
+func (r *shardedRun) run(horizon Time) {
+	r.wg.Add(r.n)
+	for _, l := range r.lanes {
+		go r.worker(l)
+	}
+	defer func() {
+		for _, l := range r.lanes {
+			close(l.shard.cmds)
+		}
+		r.wg.Wait()
+	}()
+	for {
+		for len(r.globals) > 0 {
+			g := r.globals[0]
+			if g.t > horizon {
+				break
+			}
+			if mt, ms, any := r.minLaneKey(); any && (mt < g.t || (mt == g.t && ms < g.seq)) {
+				break
+			}
+			r.globals.pop()
+			r.executeGlobal(g)
+		}
+		mt, _, any := r.minLaneKey()
+		if !any || mt > horizon {
+			break
+		}
+		bt := mt + r.lookahead
+		var bseq uint64
+		if len(r.globals) > 0 && r.globals[0].t < bt {
+			bt, bseq = r.globals[0].t, r.globals[0].seq
+		}
+		if bt > horizon {
+			bt, bseq = horizon+1, 0
+		}
+		r.window(bt, bseq)
+	}
+}
+
+// minLaneKey returns the smallest pending (t, seq) key across all lanes.
+func (r *shardedRun) minLaneKey() (Time, uint64, bool) {
+	var bt Time
+	var bs uint64
+	ok := false
+	for _, l := range r.lanes {
+		t, sq, has := l.engine.peekKey()
+		if !has {
+			continue
+		}
+		if !ok || t < bt || (t == bt && sq < bs) {
+			bt, bs, ok = t, sq, true
+		}
+	}
+	return bt, bs, ok
+}
+
+// merge folds every lane's counters, collectors and series back into the
+// master Sim, which buildResult then reads exactly as on the classic path.
+// Sums are order-independent; the latency sums are integer-valued floats, so
+// they are exact (see stats.LatencyCollector.Merge).
+func (r *shardedRun) merge() {
+	m := r.master
+	for _, l := range r.lanes {
+		m.totalGenerated += l.totalGenerated
+		m.totalDelivered += l.totalDelivered
+		m.generatedWindow += l.generatedWindow
+		m.deliveredWindow += l.deliveredWindow
+		m.deliveredBytesWindow += l.deliveredBytesWindow
+		m.outOfOrder += l.outOfOrder
+		m.warmSink += l.warmSink
+		m.lat.Merge(&l.lat)
+		m.netLat.Merge(&l.netLat)
+		if l.lastDelivery > m.lastDelivery {
+			m.lastDelivery = l.lastDelivery
+		}
+		m.droppedTotal += l.droppedTotal
+		m.droppedWindow += l.droppedWindow
+		m.droppedAtDeadLink += l.droppedAtDeadLink
+		m.droppedOnDeadLink += l.droppedOnDeadLink
+		m.reroutes += l.reroutes
+		m.lftUpdates += l.lftUpdates
+		m.lftEntriesRewritten += l.lftEntriesRewritten
+		if l.lastDropNs > m.lastDropNs {
+			m.lastDropNs = l.lastDropNs
+		}
+		if m.transport != nil {
+			mt, lt := m.transport, l.transport
+			mt.retransmits += lt.retransmits
+			mt.failed += lt.failed
+			mt.dupDeliveries += lt.dupDeliveries
+			mt.acksSent += lt.acksSent
+			mt.naksSent += lt.naksSent
+			mt.ctrlBytes += lt.ctrlBytes
+			if lt.lastRecoveredNs > mt.lastRecoveredNs {
+				mt.lastRecoveredNs = lt.lastRecoveredNs
+			}
+		}
+		for len(m.seriesBytes) < len(l.seriesBytes) {
+			m.seriesBytes = append(m.seriesBytes, 0)
+			m.seriesCount = append(m.seriesCount, 0)
+			m.seriesLat = append(m.seriesLat, 0)
+			m.seriesDropped = append(m.seriesDropped, 0)
+			m.seriesReroutes = append(m.seriesReroutes, 0)
+			m.seriesRexmit = append(m.seriesRexmit, 0)
+			m.seriesFailed = append(m.seriesFailed, 0)
+		}
+		for i := range l.seriesBytes {
+			m.seriesBytes[i] += l.seriesBytes[i]
+			m.seriesCount[i] += l.seriesCount[i]
+			m.seriesLat[i] += l.seriesLat[i]
+			m.seriesDropped[i] += l.seriesDropped[i]
+			m.seriesReroutes[i] += l.seriesReroutes[i]
+			m.seriesRexmit[i] += l.seriesRexmit[i]
+			m.seriesFailed[i] += l.seriesFailed[i]
+		}
+	}
+	m.now = r.maxExecT
+}

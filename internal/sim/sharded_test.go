@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"mlid/internal/core"
+	"mlid/internal/stats"
+	"mlid/internal/traffic"
+)
+
+// shardMatrixCases are the configurations the sharded engine must reproduce
+// bit-for-bit at every shard count: plain uniform traffic, a hotspot, a live
+// fault plan with SM repair and source reselection, and the reliable
+// transport riding over a mid-run outage (retransmits, ACK/NAK control
+// traffic, exhausted-budget failures).
+func shardMatrixCases(t *testing.T) []struct {
+	name string
+	cfg  Config
+} {
+	t.Helper()
+	mlid82 := mustSubnet(t, 8, 2, core.NewMLID())
+	slid82 := mustSubnet(t, 8, 2, core.NewSLID())
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"uniform", Config{
+			Subnet: mlid82, Pattern: traffic.Uniform{Nodes: mlid82.Tree.Nodes()},
+			DataVLs: 2, OfferedLoad: 0.5, WarmupNs: 10_000, MeasureNs: 40_000,
+			SeriesIntervalNs: 10_000, CollectPortStats: true, Seed: 7,
+		}},
+		{"hotspot", Config{
+			Subnet: mlid82, Pattern: traffic.Centric{Nodes: mlid82.Tree.Nodes(), Hotspot: 0, Fraction: 0.5},
+			DataVLs: 4, OfferedLoad: 0.6, WarmupNs: 10_000, MeasureNs: 40_000,
+			Switching: SwitchingSAF, Reception: ReceptionLink, Seed: 3,
+		}},
+		{"faults-reselect", Config{
+			Subnet: slid82, Pattern: traffic.Uniform{Nodes: slid82.Tree.Nodes()},
+			DataVLs: 2, OfferedLoad: 0.4, WarmupNs: 10_000, MeasureNs: 40_000,
+			SeriesIntervalNs: 10_000, Seed: 11,
+			FaultPlan: &FaultPlan{
+				Faults: []LinkFault{
+					{Switch: 0, Port: 1, DownNs: 12_000, UpNs: 32_000},
+					{Switch: 9, Port: 3, DownNs: 18_000},
+				},
+				Reselect: true,
+			},
+		}},
+		{"transport-fault", Config{
+			Subnet: mlid82, Pattern: traffic.Uniform{Nodes: mlid82.Tree.Nodes()},
+			DataVLs: 2, OfferedLoad: 0.5, WarmupNs: 5_000, MeasureNs: 25_000,
+			Seed: 19,
+			FaultPlan: &FaultPlan{
+				Faults: []LinkFault{{Switch: 2, Port: 0, DownNs: 8_000, UpNs: 20_000}},
+			},
+			Transport: &TransportConfig{MaxRetries: 2, DrainNs: 120_000},
+		}},
+	}
+}
+
+// TestShardDeterminismMatrix asserts bit-identical results for shards in
+// {1, 2, 4, 8} against the classic single-engine path, on both scheduler
+// paths (calendar+heap and heap-only). The 8-ary 2-tree has 8 leaf groups,
+// so 8 shards exercises the maximum partition.
+func TestShardDeterminismMatrix(t *testing.T) {
+	for _, tc := range shardMatrixCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, heapOnly := range []bool{false, true} {
+				runAt := func(shards int) Result {
+					cfg := tc.cfg
+					cfg.Shards = shards
+					cfg.HeapOnlyScheduler = heapOnly
+					res, err := Run(cfg)
+					if err != nil {
+						t.Fatalf("shards=%d heapOnly=%t: %v", shards, heapOnly, err)
+					}
+					return res
+				}
+				base := runAt(1)
+				if base.TotalDelivered == 0 {
+					t.Fatalf("heapOnly=%t: baseline delivered nothing", heapOnly)
+				}
+				for _, shards := range []int{2, 4, 8} {
+					got := runAt(shards)
+					if !reflect.DeepEqual(base, got) {
+						t.Errorf("heapOnly=%t: shards=%d diverges from shards=1\n base: %s\n got:  %s",
+							heapOnly, shards, fingerprint(base), fingerprint(got))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardDeterminismRepeated runs the same sharded configuration twice:
+// worker goroutines must not introduce run-to-run nondeterminism.
+func TestShardDeterminismRepeated(t *testing.T) {
+	cfg := shardMatrixCases(t)[0].cfg
+	cfg.Shards = 4
+	run := func() Result {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same sharded config, different results:\n a: %s\n b: %s",
+			fingerprint(a), fingerprint(b))
+	}
+}
+
+// TestEffectiveShards pins the single-engine fallbacks and the leaf-group
+// clamp.
+func TestEffectiveShards(t *testing.T) {
+	sn := mustSubnet(t, 8, 2, core.NewMLID()) // 8 leaf groups
+	base := Config{
+		Subnet: sn, Pattern: traffic.Uniform{Nodes: sn.Tree.Nodes()},
+		OfferedLoad: 0.5, Shards: 4,
+	}.withDefaults()
+	if got := base.effectiveShards(); got != 4 {
+		t.Errorf("effectiveShards = %d, want 4", got)
+	}
+	clamp := base
+	clamp.Shards = 64
+	if got := clamp.effectiveShards(); got != 8 {
+		t.Errorf("effectiveShards with 64 requested = %d, want 8 (leaf groups)", got)
+	}
+	for _, tc := range []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"shards-0", func(c *Config) { c.Shards = 0 }},
+		{"shards-1", func(c *Config) { c.Shards = 1 }},
+		{"tracing", func(c *Config) { c.TracePackets = 2 }},
+		{"latency-hist", func(c *Config) { c.LatencyHist = stats.NewHistogram(2, 32) }},
+		{"sub-ns-fly", func(c *Config) { c.FlyNs = 0 }},
+	} {
+		cfg := base
+		tc.mod(&cfg)
+		if tc.name == "sub-ns-fly" {
+			cfg.FlyNs = 0 // bypass withDefaults: model a sub-1ns link directly
+		}
+		if got := cfg.effectiveShards(); got != 1 {
+			t.Errorf("%s: effectiveShards = %d, want 1", tc.name, got)
+		}
+	}
+}
+
+// TestShardedMatchesLegacyWithValidationError checks the sharded path rejects
+// bad configurations identically to the classic path.
+func TestShardedMatchesLegacyWithValidationError(t *testing.T) {
+	sn := mustSubnet(t, 4, 2, core.NewMLID())
+	cfg := Config{
+		Subnet: sn, Pattern: traffic.Uniform{Nodes: sn.Tree.Nodes()},
+		OfferedLoad: 0.5, Shards: -1,
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative Shards accepted")
+	}
+}

@@ -222,8 +222,17 @@ type Sim struct {
 	// reliable-transport state (Config.Transport); nil when disabled.
 	transport *transportRun
 
-	// live-fault state and counters (Config.FaultPlan).
-	faults              faultRun
+	// shard is non-nil only inside a sharded run (Config.Shards > 1): the
+	// lane's window-recording state plus its link back to the coordinator.
+	// nil on the classic single-engine path, whose schedule() then forwards
+	// straight to the embedded engine.
+	shard *shardCtx
+
+	// live-fault state and counters (Config.FaultPlan). A pointer so the
+	// sharded engine's lanes — shallow copies of one master Sim — share a
+	// single fault state, which only barrier-aligned coordinator events
+	// mutate.
+	faults              *faultRun
 	droppedTotal        int64
 	droppedWindow       int64
 	droppedAtDeadLink   int64
@@ -237,11 +246,28 @@ type Sim struct {
 // nodePid returns the global port id of a node's source port.
 func (s *Sim) nodePid(node int32) int32 { return s.srcBase + node }
 
+// schedule enqueues an event, shadowing the embedded engine's method: the
+// classic path forwards straight to the engine, while a sharded lane routes
+// through its shard context (recording the call for the barrier replay, or —
+// outside a window — inserting directly with a coordinator-assigned
+// sequence). The single nil check is the sharded engine's only cost on the
+// classic hot path.
+func (s *Sim) schedule(t Time, ev event) {
+	if s.shard == nil {
+		s.engine.schedule(t, ev)
+		return
+	}
+	s.shard.scheduleSharded(s, t, ev)
+}
+
 // Run executes one simulation and returns its measurements.
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
+	}
+	if n := cfg.effectiveShards(); n > 1 {
+		return runSharded(cfg, n)
 	}
 	s := build(cfg)
 	s.end = cfg.WarmupNs + cfg.MeasureNs
@@ -268,7 +294,14 @@ func Run(cfg Config) (Result, error) {
 	if s.err != nil {
 		return Result{}, s.err
 	}
+	return s.buildResult(horizon, events), nil
+}
 
+// buildResult assembles a finished run's Result from the Sim's accumulated
+// state. Shared by the classic path and the sharded path (which first merges
+// every lane's counters and collectors back into the master Sim).
+func (s *Sim) buildResult(horizon Time, events int64) Result {
+	cfg := s.cfg
 	res := Result{
 		OfferedLoad:      cfg.OfferedLoad,
 		DeliveredWindow:  s.deliveredWindow,
@@ -402,7 +435,7 @@ func Run(cfg Config) (Result, error) {
 			return a.Node < b.Node
 		})
 	}
-	return res, nil
+	return res
 }
 
 func build(cfg Config) *Sim {
@@ -415,6 +448,7 @@ func build(cfg Config) *Sim {
 		srcBase: int32(S * M),
 		serPkt:  Time(cfg.PacketSize) * cfg.NsPerByte,
 		ia:      float64(cfg.PacketSize) * float64(cfg.NsPerByte) / cfg.OfferedLoad,
+		faults:  &faultRun{},
 	}
 	s.engine.heapOnly = engineHeapOnly || cfg.HeapOnlyScheduler
 	// The reliable transport claims one management VL for ACK/NAK traffic on

@@ -1,0 +1,50 @@
+package topology
+
+// Shard assignment for the parallel simulation engine (internal/sim).
+//
+// The fabric is partitioned into contiguous leaf-switch groups: every level is
+// sliced into `shards` equal-as-possible runs of label order, and a processing
+// node always lands in the shard of its leaf switch (so the node-attachment
+// link — and with it every generation, injection, delivery and reception event
+// of the node — is shard-local). Because labels at every level are mixed-radix
+// encodings of the same digit alphabet, slicing each level by label order
+// keeps a shard's switches concentrated under a common prefix: most of a
+// shard's traffic crosses shard boundaries only on inter-switch links.
+//
+// The assignment is a pure function of (tree, shards, id) — no hashing, no
+// runtime state — so a simulation's shard layout is deterministic across runs,
+// machines and shard-count choices, which the simulator's bit-for-bit
+// determinism guarantee builds on.
+
+// MaxShards returns the number of leaf-switch groups the tree can be
+// partitioned into — the upper bound on useful simulation shards: one shard
+// per leaf switch.
+func (t *Tree) MaxShards() int {
+	return t.SwitchesInLevel(t.n - 1)
+}
+
+// ShardOfSwitch returns the shard index in [0, shards) owning the switch,
+// for any shards in [1, MaxShards()]. Switches of every level are divided
+// into contiguous label-order runs, so the i-th shard owns switches
+// [i*count/shards, (i+1)*count/shards) of each level.
+func (t *Tree) ShardOfSwitch(shards int, id SwitchID) int {
+	if shards <= 1 {
+		return 0
+	}
+	level := t.SwitchLevel(id)
+	idx := int(id)
+	if level > 0 {
+		idx -= t.perLevel + (level-1)*t.perMidLevel
+	}
+	return idx * shards / t.SwitchesInLevel(level)
+}
+
+// ShardOfNode returns the shard owning the processing node: the shard of its
+// leaf switch, so the attachment link never crosses a shard boundary.
+func (t *Tree) ShardOfNode(shards int, id NodeID) int {
+	if shards <= 1 {
+		return 0
+	}
+	sw, _ := t.NodeAttachment(id)
+	return t.ShardOfSwitch(shards, sw)
+}

@@ -1,0 +1,45 @@
+package topology
+
+import "testing"
+
+func TestShardAssignment(t *testing.T) {
+	for _, tc := range []struct{ m, n, leaves int }{
+		{4, 2, 4}, {8, 2, 8}, {32, 2, 32}, {8, 3, 32}, {16, 3, 128}, {4, 1, 1},
+	} {
+		tr := MustNew(tc.m, tc.n)
+		if got := tr.MaxShards(); got != tc.leaves {
+			t.Errorf("FT(%d,%d): MaxShards = %d, want %d", tc.m, tc.n, got, tc.leaves)
+		}
+		for _, shards := range []int{1, 2, 4, tc.leaves} {
+			if shards > tc.leaves {
+				continue
+			}
+			// Every switch maps into range; per-level assignment is
+			// monotone non-decreasing in label order and covers every shard.
+			seen := make(map[int]bool)
+			for sw := 0; sw < tr.Switches(); sw++ {
+				sh := tr.ShardOfSwitch(shards, SwitchID(sw))
+				if sh < 0 || sh >= shards {
+					t.Fatalf("FT(%d,%d) shards=%d: switch %d -> shard %d out of range",
+						tc.m, tc.n, shards, sw, sh)
+				}
+				if tr.SwitchLevel(SwitchID(sw)) == tr.Levels()-1 {
+					seen[sh] = true
+				}
+			}
+			if len(seen) != shards {
+				t.Errorf("FT(%d,%d) shards=%d: leaf level covers %d shards",
+					tc.m, tc.n, shards, len(seen))
+			}
+			// A node always shares its leaf switch's shard, so the
+			// attachment link never crosses shards.
+			for i := 0; i < tr.Nodes(); i++ {
+				sw, _ := tr.NodeAttachment(NodeID(i))
+				if got, want := tr.ShardOfNode(shards, NodeID(i)), tr.ShardOfSwitch(shards, sw); got != want {
+					t.Fatalf("FT(%d,%d) shards=%d: node %d shard %d != leaf switch shard %d",
+						tc.m, tc.n, shards, i, got, want)
+				}
+			}
+		}
+	}
+}
