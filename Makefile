@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test ci bench bench-json bench-engine vet lint lint-fix race soak shard-smoke
+.PHONY: build test ci bench bench-json bench-engine vet lint lint-fix race soak shard-smoke verify-smoke
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,12 @@ vet:
 	$(GO) vet ./...
 
 # lint runs ibvet: the standard go vet passes plus the repo's own
-# determinism and pooling analyzers (internal/lint).
+# determinism and pooling analyzers (internal/lint). CI passes
+# LINT_FLAGS=-json so findings come out as JSON lines the registered
+# .github/problem-matcher.json turns into file annotations.
+LINT_FLAGS ?=
 lint:
-	$(GO) run ./cmd/ibvet ./...
+	$(GO) run ./cmd/ibvet $(LINT_FLAGS) ./...
 
 # lint-fix has no auto-fixer; it reruns ibvet so the findings to address are
 # the last thing on screen. Fix each by sorting map keys / moving the access,
@@ -47,9 +50,29 @@ soak:
 shard-smoke:
 	$(GO) test -run 'TestShardDeterminism' -count=1 ./internal/sim/
 
+# verify-smoke proves the static guarantees on every golden fabric: ibverify
+# must find zero error-severity findings (reachability, per-VL deadlock
+# freedom, addressing) for both schemes on the four paper networks, and on an
+# SM-repaired FT(8,2) carrying a two-link fault plan — dead-link warnings
+# are expected there, errors never. MLID on FT(16,3) is the deliberate
+# negative: the LID plan overflows the 16-bit space, so ibverify must exit
+# non-zero with the addressing finding.
+verify-smoke:
+	$(GO) run ./cmd/ibverify -m 4 -n 4 -scheme MLID -vls 4
+	$(GO) run ./cmd/ibverify -m 4 -n 4 -scheme SLID -vls 4
+	$(GO) run ./cmd/ibverify -m 8 -n 3 -scheme MLID -vls 2
+	$(GO) run ./cmd/ibverify -m 8 -n 3 -scheme SLID -vls 2
+	$(GO) run ./cmd/ibverify -m 16 -n 2 -scheme MLID -vls 2
+	$(GO) run ./cmd/ibverify -m 16 -n 2 -scheme SLID -vls 2
+	$(GO) run ./cmd/ibverify -m 32 -n 2 -scheme MLID -vls 1
+	$(GO) run ./cmd/ibverify -m 32 -n 2 -scheme SLID -vls 1
+	$(GO) run ./cmd/ibverify -m 8 -n 2 -scheme MLID -vls 2 -fault 2:2,9:3
+	! $(GO) run ./cmd/ibverify -m 16 -n 3 -scheme MLID
+
 # ci is the gate for every change: tier-1 tests plus vet, ibvet, the race
-# pass, the chaos soak and the shard-determinism smoke.
-ci: build vet lint test race soak shard-smoke
+# pass, the chaos soak, the shard-determinism smoke and the static
+# verification smoke.
+ci: build vet lint test race soak shard-smoke verify-smoke
 
 # BENCH_TIME / BENCH_COUNT tune the figure benchmarks: the committed defaults
 # (one iteration, run once) keep `make ci` cheap, but single-iteration numbers

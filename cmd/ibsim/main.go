@@ -7,6 +7,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -181,6 +182,9 @@ func main() {
 func fatal(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ibsim:", err)
+		if errors.Is(err, mlid.ErrLIDSpaceExhausted) {
+			fmt.Fprintln(os.Stderr, "ibsim: hint: the SLID scheme, or a smaller tree, fits the 16-bit LID space")
+		}
 		os.Exit(1)
 	}
 }

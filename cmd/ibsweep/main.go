@@ -11,6 +11,8 @@
 //	ibsweep -fault -quick -csv out/     # reduced study, CSV to out/recovery.csv
 //	ibsweep -chaos                  # seeded chaos campaign with reliable transport
 //	ibsweep -chaos -quick -csv out/     # reduced campaign, CSV to out/chaos.csv
+//	ibsweep -degraded               # static verifier vs simulation across fault rates
+//	ibsweep -degraded -quick -csv out/  # reduced study, CSV to out/degraded.csv
 //
 // Full-fidelity sweeps of the two 128-node networks take a few minutes and
 // the 512-node network longer; -quick cuts the load points and windows while
@@ -18,6 +20,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,16 +33,17 @@ import (
 
 func main() {
 	var (
-		table1  = flag.Bool("table1", false, "print Table 1 (network configurations)")
-		fig     = flag.String("fig", "", "figure to run: F1..F8, a short name like c-16x2, or 'all'")
-		fault   = flag.Bool("fault", false, "run the recovery-transient study: a live link failure mid-measurement, SLID vs MLID")
-		chaos   = flag.Bool("chaos", false, "run the seeded chaos campaign: link flaps and switch kills with the reliable transport, SLID vs MLID")
-		quick   = flag.Bool("quick", false, "reduced load points and windows")
-		shards  = flag.Int("shards", 0, "parallel shards per simulation run; 0 = min(GOMAXPROCS, leaf groups) per network, 1 = the single-engine path; results are identical for every value")
-		chart   = flag.Bool("chart", false, "render ASCII charts to stdout")
-		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files into")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sweeps to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile after the sweeps to this file")
+		table1   = flag.Bool("table1", false, "print Table 1 (network configurations)")
+		fig      = flag.String("fig", "", "figure to run: F1..F8, a short name like c-16x2, or 'all'")
+		fault    = flag.Bool("fault", false, "run the recovery-transient study: a live link failure mid-measurement, SLID vs MLID")
+		chaos    = flag.Bool("chaos", false, "run the seeded chaos campaign: link flaps and switch kills with the reliable transport, SLID vs MLID")
+		degraded = flag.Bool("degraded", false, "run the degraded-fabric quality study: static verifier predictions vs simulated throughput across fault rates, SLID vs MLID")
+		quick    = flag.Bool("quick", false, "reduced load points and windows")
+		shards   = flag.Int("shards", 0, "parallel shards per simulation run; 0 = min(GOMAXPROCS, leaf groups) per network, 1 = the single-engine path; results are identical for every value")
+		chart    = flag.Bool("chart", false, "render ASCII charts to stdout")
+		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files into")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweeps to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile after the sweeps to this file")
 	)
 	flag.Parse()
 
@@ -105,8 +109,29 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if *degraded {
+		spec := mlid.EvalDegradedSpecDefault()
+		if *quick {
+			spec = mlid.EvalDegradedSpecQuick()
+		}
+		spec.Shards = *shards
+		fmt.Printf("degraded fabric: %s, fault rates %v, uniform load %.2f B/ns/node, seed %d\n",
+			spec.Network, spec.Rates, spec.OfferedLoad, spec.Seed)
+		rows, err := mlid.EvalDegradedStudy(spec)
+		fatal(err)
+		fmt.Print(mlid.FormatDegraded(rows))
+		fatal(mlid.DegradedOrderingConsistent(rows))
+		fmt.Println("ordering: static predicted-accepted ranking matches simulated accepted throughput at every rate")
+		if *csvDir != "" {
+			fatal(os.MkdirAll(*csvDir, 0o755))
+			path := filepath.Join(*csvDir, "degraded.csv")
+			fatal(os.WriteFile(path, []byte(mlid.DegradedCSV(rows)), 0o644))
+			fmt.Printf("wrote %s\n", path)
+		}
+		fmt.Println()
+	}
 	if *fig == "" {
-		if !*table1 && !*fault && !*chaos {
+		if !*table1 && !*fault && !*chaos && !*degraded {
 			flag.Usage()
 			os.Exit(2)
 		}
@@ -163,6 +188,9 @@ func printTable1(rows []mlid.EvalTable1Row) {
 func fatal(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ibsweep:", err)
+		if errors.Is(err, mlid.ErrLIDSpaceExhausted) {
+			fmt.Fprintln(os.Stderr, "ibsweep: hint: the SLID scheme, or a smaller tree, fits the 16-bit LID space")
+		}
 		os.Exit(1)
 	}
 }

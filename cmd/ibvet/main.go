@@ -24,6 +24,7 @@ import (
 
 	"mlid/internal/lint/analysis"
 	"mlid/internal/lint/driver"
+	"mlid/internal/lint/findingfmt"
 	"mlid/internal/lint/goldendrift"
 	"mlid/internal/lint/hotpath"
 	"mlid/internal/lint/load"
@@ -41,11 +42,13 @@ var analyzers = []*analysis.Analyzer{
 	pktpool.Analyzer,
 	hotpath.Analyzer,
 	goldendrift.Analyzer,
+	findingfmt.Analyzer,
 }
 
 func main() {
 	runVet := flag.Bool("vet", true, "also run the standard `go vet` passes")
 	list := flag.Bool("list", false, "list the custom analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit custom-analyzer findings as JSON lines (file, line, col, severity, analyzer, message)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: ibvet [flags] [packages]\n\n")
 		flag.PrintDefaults()
@@ -77,7 +80,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ibvet: %v\n", err)
 		os.Exit(2)
 	}
-	n, err := driver.Run(pkgs, analyzers, os.Stdout)
+	runDriver := driver.Run
+	if *jsonOut {
+		runDriver = driver.RunJSON
+	}
+	n, err := runDriver(pkgs, analyzers, os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ibvet: %v\n", err)
 		os.Exit(2)

@@ -47,11 +47,16 @@ func (f *FaultSet) Blocked(p Path) bool {
 
 // SelectDLID performs fault-avoiding path selection: the LMC-multipath
 // failover that motivates multiple LIDs in practice. It first tries the
-// scheme's canonical DLID; if that path crosses a failed link it scans the
-// destination's remaining LIDs for a surviving path. This is an extension
-// beyond the paper (which assumes a healthy fabric): the MLID addressing
-// makes recovery a source-local DLID rewrite, with no forwarding-table
-// reprogramming, while SLID (one LID) has no alternative to offer.
+// scheme's canonical DLID; if that path crosses a failed link it scans
+// cyclically from the canonical offset for the nearest surviving LID — the
+// same order the simulator's source reselection uses, so a static analysis
+// built on this function predicts the load the simulated sources actually
+// place. The cyclic start matters: canonical offsets are spread across
+// sources, so failover spreads too, instead of every affected source piling
+// onto the lowest-numbered survivor. This is an extension beyond the paper
+// (which assumes a healthy fabric): the MLID addressing makes recovery a
+// source-local DLID rewrite, with no forwarding-table reprogramming, while
+// SLID (one LID) has no alternative to offer.
 //
 // It returns the chosen DLID, the surviving path, and ok=false when every
 // named path is blocked.
@@ -61,11 +66,13 @@ func SelectDLID(t *topology.Tree, s Scheme, src, dst topology.NodeID, faults *Fa
 		return canonical, p, true
 	}
 	base := s.BaseLID(t, dst)
-	for off := 0; off < 1<<s.LMC(t); off++ {
-		lid := base + ib.LID(off)
-		if lid == canonical {
-			continue
-		}
+	count := 1 << s.LMC(t)
+	start := int(canonical) - int(base)
+	if start < 0 || start >= count {
+		start = 0
+	}
+	for i := 1; i < count; i++ {
+		lid := base + ib.LID((start+i)%count)
 		p, err := TraceLID(t, s, src, lid)
 		if err != nil || p.Dst != dst {
 			continue

@@ -221,15 +221,20 @@ func ChaosStudy(spec ChaosSpec) ([]ChaosRow, error) {
 			}
 			tc := spec.Transport
 			res, err := sim.Run(sim.Config{
-				Subnet:            sn,
-				Pattern:           traffic.Uniform{Nodes: tr.Nodes()},
-				DataVLs:           spec.DataVLs,
-				OfferedLoad:       spec.OfferedLoad,
-				WarmupNs:          spec.WarmupNs,
-				MeasureNs:         spec.MeasureNs,
-				SeriesIntervalNs:  spec.SeriesIntervalNs,
-				FaultPlan:         plan,
-				Transport:         &tc,
+				Subnet:           sn,
+				Pattern:          traffic.Uniform{Nodes: tr.Nodes()},
+				DataVLs:          spec.DataVLs,
+				OfferedLoad:      spec.OfferedLoad,
+				WarmupNs:         spec.WarmupNs,
+				MeasureNs:        spec.MeasureNs,
+				SeriesIntervalNs: spec.SeriesIntervalNs,
+				FaultPlan:        plan,
+				Transport:        &tc,
+				// Statically verify the forwarding tables at every SM epoch
+				// of every campaign: a chaos schedule that drives the repair
+				// logic into a loop, credit-cycle, or unexplained dead end
+				// fails the study instead of silently dropping packets.
+				VerifyEpochs:      true,
 				Shards:            shards,
 				Seed:              spec.Seed + int64(ri),
 				HeapOnlyScheduler: spec.HeapOnlyScheduler,

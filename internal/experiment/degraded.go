@@ -1,0 +1,349 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mlid/internal/core"
+	"mlid/internal/ib"
+	"mlid/internal/sim"
+	"mlid/internal/topology"
+	"mlid/internal/traffic"
+	"mlid/internal/verify"
+)
+
+// DegradedSpec describes the degraded-fabric quality study: at each fault
+// rate, a seeded sample of the inter-switch links fails before the
+// measurement window opens, the subnet-manager repair runs its course, and
+// the study records two independent views of the surviving fabric:
+//
+//   - static: a fresh Configure + core.RepairSubnet per scheme, analyzed by
+//     the ibverify quality pass (per-link maximal load, dilation, unrouted
+//     flows under all-to-all) with core.SelectDLID standing in for MLID's
+//     fault-avoiding source reselection;
+//   - dynamic: a full simulation of the same outage (faults early, SM
+//     recovery, Reselect on, epoch verification on), recording accepted
+//     throughput.
+//
+// The point of the study is the cross-validation the two views afford: the
+// static max-load ranking of SLID vs MLID must match the simulated
+// accepted-throughput ordering at every rate (DegradedOrderingConsistent),
+// or the static analyzer is measuring the wrong thing.
+type DegradedSpec struct {
+	Network Network
+	// Rates are the fractions of inter-switch links to fail, e.g.
+	// 0.01..0.10. Each rate draws its own seeded sample; both schemes see
+	// the identical sample.
+	Rates []float64
+	// DataVLs is the virtual-lane count for both views.
+	DataVLs int
+	// OfferedLoad is the per-node injection rate of the dynamic view.
+	OfferedLoad float64
+	// FaultNs is when the sampled links die — before WarmupNs, so the SM
+	// has converged when measurement opens and the window sees the steady
+	// degraded fabric, not the transient.
+	FaultNs, WarmupNs, MeasureNs sim.Time
+	// Shards is the per-run shard count (see ResolveShards).
+	Shards int
+	// Seed drives the link samples and every simulation.
+	Seed int64
+}
+
+// DegradedStudySpec is the full-fidelity degraded-fabric study.
+func DegradedStudySpec() DegradedSpec {
+	return DegradedSpec{
+		Network:     Network{8, 3},
+		Rates:       []float64{0.01, 0.02, 0.04, 0.06, 0.08, 0.10},
+		DataVLs:     2,
+		OfferedLoad: 0.3,
+		FaultNs:     2_000, WarmupNs: 50_000, MeasureNs: 200_000,
+		Seed: 1789,
+	}
+}
+
+// QuickDegradedSpec is the reduced-cost variant for test suites and CI.
+func QuickDegradedSpec() DegradedSpec {
+	return DegradedSpec{
+		Network:     Network{8, 2},
+		Rates:       []float64{0.02, 0.06, 0.10},
+		DataVLs:     2,
+		OfferedLoad: 0.3,
+		FaultNs:     2_000, WarmupNs: 20_000, MeasureNs: 80_000,
+		Seed: 1789,
+	}
+}
+
+// DegradedRow is one (scheme, fault rate) outcome of the study.
+type DegradedRow struct {
+	Scheme string
+	Rate   float64
+	// FailedLinks is the realized sample size at this rate.
+	FailedLinks int
+	// Static view: the ibverify quality pass over the repaired tables.
+	// StaticMaxLoad is the per-link maximal load under all-to-all (the
+	// congestion bound), StaticUnrouted the flows no surviving LID serves,
+	// StaticMeanDilation the mean path stretch vs the minimal up*/down*
+	// path. StaticWarnings counts the dead-link findings (broken
+	// descending entries); error-severity findings abort the study.
+	StaticMaxLoad      float64
+	StaticMeanLoad     float64
+	StaticMeanDilation float64
+	StaticUnrouted     int
+	StaticWarnings     int
+	// StaticServedFrac is the routed fraction of all-to-all flows, and
+	// StaticPredictedAccepted the throughput bound the static view implies:
+	// OfferedLoad x served fraction, scaled down when the max-load link
+	// would saturate (each routed flow demands OfferedLoad/(nodes-1) B/ns
+	// of a 1 B/ns link, so demand beyond capacity rescales every flow).
+	// Max load alone ranks congestion; this bound also charges SLID for
+	// the flows it cannot route at all, which is what accepted throughput
+	// sees — the ordering check compares this, the full static prediction.
+	StaticServedFrac        float64
+	StaticPredictedAccepted float64
+	// BrokenEntries is RepairSubnet's irreparable-descending-entry count.
+	BrokenEntries int
+	// Dynamic view: the simulated run over the same outage.
+	Accepted       float64
+	DroppedWindow  int64
+	Reroutes       int64
+	MeanLatencyNs  float64
+	VerifiedEpochs int
+}
+
+// degradedSample draws the failed inter-switch links for one rate:
+// rate x (inter-switch link count) of them, at least one, chosen by a
+// seeded shuffle over the canonical (lower switch id) link list. Node
+// attachment links never fail — the study degrades the fabric's interior,
+// not its endpoints.
+func degradedSample(tr *topology.Tree, rate float64, rng *rand.Rand) [][2]int32 {
+	type link struct {
+		sw   int32
+		port int
+	}
+	var candidates []link
+	for sw := 0; sw < tr.Switches(); sw++ {
+		for port := 0; port < tr.M(); port++ {
+			ref := tr.SwitchNeighbor(topology.SwitchID(sw), port)
+			if ref.Kind != topology.KindSwitch || int32(ref.Switch) < int32(sw) {
+				continue
+			}
+			candidates = append(candidates, link{int32(sw), port})
+		}
+	}
+	k := int(rate*float64(len(candidates)) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	out := make([][2]int32, 0, k)
+	for _, i := range rng.Perm(len(candidates))[:k] {
+		out = append(out, [2]int32{candidates[i].sw, int32(candidates[i].port)})
+	}
+	return out
+}
+
+// DegradedStudy runs the degraded-fabric sweep for both schemes across the
+// spec's fault rates. Any error-severity verify finding on the repaired
+// tables, or any failed simulation (which includes per-epoch verification),
+// fails the study.
+func DegradedStudy(spec DegradedSpec) ([]DegradedRow, error) {
+	tr, err := topology.New(spec.Network.M, spec.Network.N)
+	if err != nil {
+		return nil, err
+	}
+	if spec.FaultNs <= 0 || spec.FaultNs >= spec.WarmupNs {
+		return nil, fmt.Errorf("experiment: degraded FaultNs %d must fall inside (0, WarmupNs %d)", spec.FaultNs, spec.WarmupNs)
+	}
+	shards := ResolveShards(tr, spec.Shards)
+	rows := make([]DegradedRow, 0, 2*len(spec.Rates))
+	for ri, rate := range spec.Rates {
+		if rate <= 0 || rate > 1 {
+			return nil, fmt.Errorf("experiment: degraded fault rate %v out of (0, 1]", rate)
+		}
+		rng := rand.New(rand.NewSource(spec.Seed*6151 + int64(ri)))
+		links := degradedSample(tr, rate, rng)
+		fs := core.NewFaultSet()
+		plan := &sim.FaultPlan{Reselect: true}
+		for _, l := range links {
+			fs.FailLink(tr, topology.SwitchID(l[0]), int(l[1]))
+			plan.Faults = append(plan.Faults, sim.LinkFault{Switch: l[0], Port: int(l[1]), DownNs: spec.FaultNs})
+		}
+		for _, scheme := range []core.Scheme{core.NewSLID(), core.NewMLID()} {
+			sn, err := (&ib.SubnetManager{Tree: tr, Engine: scheme}).Configure()
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %s on %s: %w", scheme.Name(), spec.Network, err)
+			}
+			row := DegradedRow{Scheme: scheme.Name(), Rate: rate, FailedLinks: len(links)}
+
+			// Static view: repair a fresh configuration offline and run the
+			// verifier's quality pass over it, with fault-avoiding source
+			// selection standing in for what reselection does live.
+			_, broken, err := core.RepairSubnet(sn, fs)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: degraded repair %s rate %v: %w", scheme.Name(), rate, err)
+			}
+			row.BrokenEntries = len(broken)
+			in := verify.Input{
+				Tree:      tr,
+				Endports:  sn.Endports,
+				LFTs:      sn.LFTs,
+				Engine:    scheme,
+				DeadLinks: links,
+				SelectDLID: func(src, dst topology.NodeID) (ib.LID, bool) {
+					lid, _, ok := core.SelectDLID(tr, scheme, src, dst, fs)
+					return lid, ok
+				},
+			}
+			rep, err := verify.Run(in, verify.Options{VLs: spec.DataVLs})
+			if err != nil {
+				return nil, fmt.Errorf("experiment: degraded verify %s rate %v: %w", scheme.Name(), rate, err)
+			}
+			if n := rep.Errors(); n > 0 {
+				return nil, fmt.Errorf("experiment: degraded verify %s rate %v: %d error finding(s); first: %s",
+					scheme.Name(), rate, n, firstError(rep))
+			}
+			row.StaticWarnings = rep.Warnings()
+			if len(rep.Stats.Quality) == 0 {
+				return nil, fmt.Errorf("experiment: degraded verify %s rate %v: no quality report", scheme.Name(), rate)
+			}
+			q := rep.Stats.Quality[0] // the all-to-all matrix
+			row.StaticMaxLoad = q.MaxLoad
+			row.StaticMeanLoad = q.MeanLoad
+			row.StaticMeanDilation = q.MeanDilation
+			row.StaticUnrouted = q.Unrouted
+			if q.Flows > 0 {
+				row.StaticServedFrac = float64(q.Flows-q.Unrouted) / float64(q.Flows)
+			}
+			perFlow := spec.OfferedLoad / float64(tr.Nodes()-1)
+			scale := 1.0
+			if demand := q.MaxLoad * perFlow; demand > 1 {
+				scale = 1 / demand
+			}
+			row.StaticPredictedAccepted = spec.OfferedLoad * row.StaticServedFrac * scale
+
+			// Dynamic view: the same outage simulated end to end. The subnet
+			// was mutated by the offline repair above, so configure afresh.
+			snRun, err := (&ib.SubnetManager{Tree: tr, Engine: scheme}).Configure()
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %s on %s: %w", scheme.Name(), spec.Network, err)
+			}
+			res, err := sim.Run(sim.Config{
+				Subnet:       snRun,
+				Pattern:      traffic.Uniform{Nodes: tr.Nodes()},
+				DataVLs:      spec.DataVLs,
+				OfferedLoad:  spec.OfferedLoad,
+				WarmupNs:     spec.WarmupNs,
+				MeasureNs:    spec.MeasureNs,
+				FaultPlan:    plan,
+				VerifyEpochs: true,
+				Shards:       shards,
+				Seed:         spec.Seed + int64(ri),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiment: degraded run %s rate %v: %w", scheme.Name(), rate, err)
+			}
+			row.Accepted = res.Accepted
+			row.DroppedWindow = res.DroppedWindow
+			row.Reroutes = res.Reroutes
+			row.MeanLatencyNs = res.MeanLatencyNs
+			row.VerifiedEpochs = res.VerifiedEpochs
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// firstError returns the first error-severity finding's rendering.
+func firstError(rep *verify.Report) string {
+	for _, f := range rep.Findings {
+		if f.Severity == verify.Error {
+			return f.String()
+		}
+	}
+	return "(none)"
+}
+
+// DegradedOrderingConsistent checks the study's cross-validation claim: at
+// every fault rate, the static ranking of the two schemes — the
+// max-load-and-unrouted throughput bound StaticPredictedAccepted — must
+// agree with the simulated accepted-throughput ordering: the scheme the
+// analyzer predicts serves more must not deliver less. Near-ties (within
+// 2% relative) on either side are treated as agreement, since neither view
+// resolves finer than that.
+func DegradedOrderingConsistent(rows []DegradedRow) error {
+	byRate := map[float64]map[string]DegradedRow{}
+	for _, r := range rows {
+		if byRate[r.Rate] == nil {
+			byRate[r.Rate] = map[string]DegradedRow{}
+		}
+		byRate[r.Rate][r.Scheme] = r
+	}
+	for _, r := range rows {
+		pair := byRate[r.Rate]
+		s, sOK := pair["SLID"]
+		m, mOK := pair["MLID"]
+		if !sOK || !mOK {
+			return fmt.Errorf("experiment: degraded rate %v missing a scheme", r.Rate)
+		}
+		predGap := relGap(m.StaticPredictedAccepted, s.StaticPredictedAccepted)
+		accGap := relGap(m.Accepted, s.Accepted)
+		// predGap > 0: the analyzer predicts MLID serves more.
+		// accGap  > 0: the simulator delivered more under MLID.
+		// A conflict is both gaps decisive (beyond the 2% tie band) with
+		// opposite signs.
+		const tie = 0.02
+		if predGap > tie && accGap < -tie {
+			return fmt.Errorf("experiment: degraded rate %v: static predicts MLID serves more (%.4f vs %.4f) but simulation delivered less (%.4f vs %.4f)",
+				r.Rate, m.StaticPredictedAccepted, s.StaticPredictedAccepted, m.Accepted, s.Accepted)
+		}
+		if predGap < -tie && accGap > tie {
+			return fmt.Errorf("experiment: degraded rate %v: static predicts SLID serves more (%.4f vs %.4f) but simulation delivered less (%.4f vs %.4f)",
+				r.Rate, s.StaticPredictedAccepted, m.StaticPredictedAccepted, s.Accepted, m.Accepted)
+		}
+	}
+	return nil
+}
+
+// relGap is (a-b) normalized by the larger magnitude; 0 when both are 0.
+func relGap(a, b float64) float64 {
+	den := a
+	if b > den {
+		den = b
+	}
+	if den == 0 {
+		return 0
+	}
+	return (a - b) / den
+}
+
+// FormatDegraded renders the study as a markdown table.
+func FormatDegraded(rows []DegradedRow) string {
+	var b strings.Builder
+	b.WriteString("| scheme | rate | links | static max load | mean load | dilation | unrouted | served | predicted B/ns | broken | warnings | accepted B/ns | dropped | reroutes | lat (ns) | epochs |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s | %.2f | %d | %.1f | %.1f | %.3f | %d | %.3f | %.4f | %d | %d | %.4f | %d | %d | %.0f | %d |\n",
+			r.Scheme, r.Rate, r.FailedLinks, r.StaticMaxLoad, r.StaticMeanLoad,
+			r.StaticMeanDilation, r.StaticUnrouted, r.StaticServedFrac, r.StaticPredictedAccepted,
+			r.BrokenEntries, r.StaticWarnings,
+			r.Accepted, r.DroppedWindow, r.Reroutes, r.MeanLatencyNs, r.VerifiedEpochs)
+	}
+	return b.String()
+}
+
+// DegradedCSV renders the study in long form.
+func DegradedCSV(rows []DegradedRow) string {
+	var b strings.Builder
+	b.WriteString("scheme,rate,failed_links,static_max_load,static_mean_load,static_mean_dilation,static_unrouted,static_served_frac,static_predicted_accepted,broken_entries,static_warnings,accepted,dropped_window,reroutes,mean_latency_ns,verified_epochs\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%.4f,%d,%.2f,%.2f,%.4f,%d,%.4f,%.6f,%d,%d,%.6f,%d,%d,%.2f,%d\n",
+			r.Scheme, r.Rate, r.FailedLinks, r.StaticMaxLoad, r.StaticMeanLoad,
+			r.StaticMeanDilation, r.StaticUnrouted, r.StaticServedFrac, r.StaticPredictedAccepted,
+			r.BrokenEntries, r.StaticWarnings,
+			r.Accepted, r.DroppedWindow, r.Reroutes, r.MeanLatencyNs, r.VerifiedEpochs)
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDegradedStudyOrderingConsistent is the cross-validation acceptance
+// test: at every sampled fault rate, the static max-load ranking of SLID vs
+// MLID (ibverify's quality pass over the repaired tables) must match the
+// simulated accepted-throughput ordering. It also pins the study's basic
+// shape: both schemes at every rate, zero error-severity findings (the study
+// would have failed), epoch verification actually ran, and MLID's
+// fault-avoiding selection leaves fewer flows unrouted than SLID's single
+// path.
+func TestDegradedStudyOrderingConsistent(t *testing.T) {
+	spec := QuickDegradedSpec()
+	rows, err := DegradedStudy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(spec.Rates) {
+		t.Fatalf("got %d rows, want %d", len(rows), 2*len(spec.Rates))
+	}
+	if err := DegradedOrderingConsistent(rows); err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]DegradedRow{}
+	for _, r := range rows {
+		if r.FailedLinks < 1 {
+			t.Errorf("%s rate %v: no failed links sampled", r.Scheme, r.Rate)
+		}
+		if r.VerifiedEpochs < 1 {
+			t.Errorf("%s rate %v: simulation ran without epoch verification", r.Scheme, r.Rate)
+		}
+		if r.StaticMaxLoad <= 0 {
+			t.Errorf("%s rate %v: static max load %v", r.Scheme, r.Rate, r.StaticMaxLoad)
+		}
+		byKey[r.Scheme] = r
+	}
+	if _, ok := byKey["SLID"]; !ok {
+		t.Fatal("no SLID rows")
+	}
+	if _, ok := byKey["MLID"]; !ok {
+		t.Fatal("no MLID rows")
+	}
+	// At every rate MLID's multipath leaves no more flows stranded than
+	// SLID's single path, and repair leaves it no more broken entries'
+	// worth of unreachability.
+	perRate := map[float64]map[string]DegradedRow{}
+	for _, r := range rows {
+		if perRate[r.Rate] == nil {
+			perRate[r.Rate] = map[string]DegradedRow{}
+		}
+		perRate[r.Rate][r.Scheme] = r
+	}
+	for rate, pair := range perRate {
+		if pair["MLID"].StaticUnrouted > pair["SLID"].StaticUnrouted {
+			t.Errorf("rate %v: MLID leaves %d flows unrouted vs SLID's %d — multipath should not lose paths",
+				rate, pair["MLID"].StaticUnrouted, pair["SLID"].StaticUnrouted)
+		}
+	}
+}
+
+// TestDegradedStudyDeterministic: the same spec yields identical rows.
+func TestDegradedStudyDeterministic(t *testing.T) {
+	spec := QuickDegradedSpec()
+	spec.Rates = spec.Rates[:1]
+	a, err := DegradedStudy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DegradedStudy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DegradedCSV(a) != DegradedCSV(b) {
+		t.Fatalf("non-deterministic study:\n%s\nvs\n%s", DegradedCSV(a), DegradedCSV(b))
+	}
+}
+
+// TestDegradedRendering: the table and CSV renderers cover every row.
+func TestDegradedRendering(t *testing.T) {
+	rows := []DegradedRow{
+		{Scheme: "SLID", Rate: 0.02, FailedLinks: 1, StaticMaxLoad: 40, StaticPredictedAccepted: 0.24, Accepted: 0.25},
+		{Scheme: "MLID", Rate: 0.02, FailedLinks: 1, StaticMaxLoad: 22, StaticPredictedAccepted: 0.30, Accepted: 0.29},
+	}
+	md := FormatDegraded(rows)
+	if !strings.Contains(md, "| SLID |") || !strings.Contains(md, "| MLID |") {
+		t.Fatalf("markdown table missing rows:\n%s", md)
+	}
+	csv := DegradedCSV(rows)
+	if got := strings.Count(csv, "\n"); got != 3 {
+		t.Fatalf("CSV has %d lines, want 3:\n%s", got, csv)
+	}
+	if err := DegradedOrderingConsistent(rows); err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately contradictory pair must be rejected.
+	bad := []DegradedRow{
+		{Scheme: "SLID", Rate: 0.5, StaticPredictedAccepted: 0.20, Accepted: 0.30},
+		{Scheme: "MLID", Rate: 0.5, StaticPredictedAccepted: 0.30, Accepted: 0.20},
+	}
+	if err := DegradedOrderingConsistent(bad); err == nil {
+		t.Fatal("contradictory ordering accepted")
+	}
+}

@@ -39,6 +39,11 @@ var (
 	ErrLIDOutOfRange = errors.New("ib: LID out of forwarding-table range")
 	// ErrNoRoute reports a DLID with no forwarding entry on some switch.
 	ErrNoRoute = errors.New("ib: no route for DLID")
+	// ErrLIDSpaceExhausted reports a routing scheme whose LID plan does not
+	// fit the 16-bit LID space (e.g. MLID on FT(16,3) needs 65,537 LIDs,
+	// one past the limit). Configure returns it wrapped with the sizes, so
+	// callers can branch with errors.Is instead of parsing the message.
+	ErrLIDSpaceExhausted = errors.New("ib: LID space exhausted")
 )
 
 // LFT is a linear forwarding table: a dense map from DLID to physical output

@@ -80,7 +80,8 @@ func (sm *SubnetManager) Configure() (*Subnet, error) {
 	}
 	space := eng.LIDSpace(t)
 	if space > 1<<16 {
-		return nil, fmt.Errorf("ib: scheme %s needs %d LIDs, beyond the 16-bit LID space", eng.Name(), space)
+		return nil, fmt.Errorf("%w: scheme %s needs %d LIDs, beyond the 16-bit space (%d)",
+			ErrLIDSpaceExhausted, eng.Name(), space, 1<<16)
 	}
 
 	sn := &Subnet{

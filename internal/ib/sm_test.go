@@ -1,6 +1,7 @@
 package ib_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -101,12 +102,22 @@ func TestConfigureRejectsLMCTooLarge(t *testing.T) {
 }
 
 // TestConfigureRejectsLIDSpaceOverflow: FT(16,3) under MLID needs
-// 1024*64 + 1 = 65537 LIDs, one more than the 16-bit space.
+// 1024*64 + 1 = 65537 LIDs, one more than the 16-bit space. The failure is
+// the typed ib.ErrLIDSpaceExhausted — never a silent truncation (ib.LID is
+// uint16, so an unchecked BaseLID would wrap around) and never a panic —
+// and the message still names the sizes for humans. SLID (one LID per node)
+// configures the same fabric fine.
 func TestConfigureRejectsLIDSpaceOverflow(t *testing.T) {
 	tr := topology.MustNew(16, 3)
 	_, err := (&ib.SubnetManager{Tree: tr, Engine: core.NewMLID()}).Configure()
-	if err == nil || !strings.Contains(err.Error(), "16-bit") {
-		t.Fatalf("expected LID-space error, got %v", err)
+	if err == nil || !errors.Is(err, ib.ErrLIDSpaceExhausted) {
+		t.Fatalf("expected ErrLIDSpaceExhausted, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "65537") || !strings.Contains(err.Error(), "16-bit") {
+		t.Fatalf("overflow error should name the sizes, got %v", err)
+	}
+	if _, err := (&ib.SubnetManager{Tree: tr, Engine: core.NewSLID()}).Configure(); err != nil {
+		t.Fatalf("SLID on FT(16,3): %v", err)
 	}
 }
 

@@ -5,6 +5,7 @@
 package driver
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -64,10 +65,33 @@ func parseIgnores(fset *token.FileSet, f *ast.File) []ignoreDirective {
 	return out
 }
 
+// jsonDiag is one finding in the machine format: a flat object per line, the
+// shape cmd/ibvet -json emits and .github/problem-matcher.json parses. Field
+// order is fixed (encoding/json preserves struct order), so the matcher's
+// regexp can anchor on it.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Severity string `json:"severity"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 // Run applies every analyzer to every package and writes surviving
-// diagnostics to w. It returns the number of diagnostics printed; a non-nil
-// error means a package failed to run, not that findings exist.
+// diagnostics to w in the vet text format. It returns the number of
+// diagnostics printed; a non-nil error means a package failed to run, not
+// that findings exist.
 func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer, w io.Writer) (int, error) {
+	return run(pkgs, analyzers, w, false)
+}
+
+// RunJSON is Run with one JSON object per finding instead of vet text.
+func RunJSON(pkgs []*load.Package, analyzers []*analysis.Analyzer, w io.Writer) (int, error) {
+	return run(pkgs, analyzers, w, true)
+}
+
+func run(pkgs []*load.Package, analyzers []*analysis.Analyzer, w io.Writer, asJSON bool) (int, error) {
 	type located struct {
 		pos token.Position
 		d   analysis.Diagnostic
@@ -112,6 +136,23 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer, w io.Writer) (int
 		}
 		return all[i].d.Analyzer < all[j].d.Analyzer
 	})
+	if asJSON {
+		enc := json.NewEncoder(w)
+		for _, l := range all {
+			d := jsonDiag{
+				File:     l.pos.Filename,
+				Line:     l.pos.Line,
+				Col:      l.pos.Column,
+				Severity: "error",
+				Analyzer: l.d.Analyzer,
+				Message:  l.d.Message,
+			}
+			if err := enc.Encode(d); err != nil {
+				return len(all), err
+			}
+		}
+		return len(all), nil
+	}
 	for _, l := range all {
 		fmt.Fprintf(w, "%s: %s (%s)\n", l.pos, l.d.Message, l.d.Analyzer)
 	}

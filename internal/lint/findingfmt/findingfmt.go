@@ -1,0 +1,101 @@
+// Package findingfmt enforces the verify package's construction contract:
+// every composite literal of type verify.Finding must set the Severity and
+// Witness fields explicitly (by key, or by a complete positional literal).
+// The zero Severity is Info and the zero Witness is nil — both legal values —
+// so an omitted field is indistinguishable from a considered one. The
+// contract makes the author's intent visible: "Severity: Info" means the
+// finding was triaged, "Witness: nil" means the message is self-contained,
+// and an empty Finding{} means someone forgot both.
+//
+// A deliberate exception (e.g. a test helper assembling findings field by
+// field) is suppressed the usual way:
+//
+//	//lint:ignore findingfmt fields are filled in by the helper below
+package findingfmt
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mlid/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "findingfmt",
+	Doc:  "require verify.Finding literals to set Severity and Witness explicitly",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[lit]
+			if !ok {
+				return true
+			}
+			if !isFinding(tv.Type) {
+				return true
+			}
+			check(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// isFinding reports whether t is the verify package's Finding struct. The
+// type is matched by name — a struct named Finding defined in a package
+// named verify — so the analyzer works on the real mlid/internal/verify and
+// on testdata fixtures alike.
+func isFinding(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != "Finding" || obj.Pkg() == nil || obj.Pkg().Name() != "verify" {
+		return false
+	}
+	_, ok = named.Underlying().(*types.Struct)
+	return ok
+}
+
+func check(pass *analysis.Pass, lit *ast.CompositeLit) {
+	if len(lit.Elts) > 0 {
+		if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+			// A positional literal must name every field to compile when
+			// complete; an incomplete one is a compile error, so anything
+			// that type-checked here sets Severity and Witness.
+			return
+		}
+	}
+	hasSeverity, hasWitness := false, false
+	for _, e := range lit.Elts {
+		kv, ok := e.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		id, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch id.Name {
+		case "Severity":
+			hasSeverity = true
+		case "Witness":
+			hasWitness = true
+		}
+	}
+	switch {
+	case !hasSeverity && !hasWitness:
+		pass.Reportf(lit.Pos(), "verify.Finding literal must set Severity and Witness explicitly (zero values are legal, so omission hides intent)")
+	case !hasSeverity:
+		pass.Reportf(lit.Pos(), "verify.Finding literal must set Severity explicitly (the zero value is Info)")
+	case !hasWitness:
+		pass.Reportf(lit.Pos(), "verify.Finding literal must set Witness explicitly (use Witness: nil when the message is self-contained)")
+	}
+}

@@ -1,0 +1,11 @@
+package findingfmt
+
+import (
+	"testing"
+
+	"mlid/internal/lint/linttest"
+)
+
+func TestFindingFmt(t *testing.T) {
+	linttest.Run(t, Analyzer, "verify")
+}

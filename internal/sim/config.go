@@ -157,6 +157,16 @@ type Config struct {
 	// bit-for-bit identical to one built before the transport existed.
 	// See TransportConfig.
 	Transport *TransportConfig
+	// VerifyEpochs re-runs the static verifier (internal/verify) over the
+	// live forwarding tables at every subnet-manager epoch of a FaultPlan
+	// run — after each trap sweep and each applied staged table update —
+	// and additionally cross-checks the compiled forwarding rows against
+	// the live tables. Any error-severity finding (a loop, credit-cycle,
+	// dead end, or misdelivery the recorded dead links do not explain)
+	// fails the run. Cold path: it costs nothing per packet and does not
+	// perturb results. Without a FaultPlan no epochs occur and the flag is
+	// inert. See Result.VerifiedEpochs.
+	VerifyEpochs bool
 	// Seed makes the run reproducible.
 	Seed int64
 	// Shards partitions the fabric into that many per-leaf-group event
@@ -401,6 +411,12 @@ type Result struct {
 	// RecoveryNs is the SM convergence time: last staged table update
 	// applied minus first link failure. Zero when no update was needed.
 	RecoveryNs Time
+	// VerifiedEpochs counts the static-verifier passes a
+	// Config.VerifyEpochs run executed (one per SM epoch), and
+	// VerifyWarnings the warning-severity findings they reported in total —
+	// the dead-link-explained defects of mid-repair tables. Error-severity
+	// findings never reach the Result: they fail the run instead.
+	VerifiedEpochs, VerifyWarnings int
 
 	// Reliable-transport outcomes; all zero unless Config.Transport ran.
 

@@ -232,6 +232,12 @@ type faultRun struct {
 	lastRepairNs Time
 	lastBroken   int
 
+	// Config.VerifyEpochs counters. On the shared faultRun (not the Sim)
+	// because only barrier-aligned lane-0 events bump them in a sharded
+	// run, so they need no per-lane merge.
+	verifiedEpochs int
+	verifyWarnings int
+
 	// reselection caches, indexed src*nodes+dst; reselEpoch holds the epoch
 	// the cached mask was computed at (0 = unset; valid epochs are >= 1).
 	reselMask  []uint64
@@ -457,6 +463,9 @@ func (s *Sim) smTrap() {
 	// Sources learn of the fault from the SM's sweep: reselection activates
 	// (and caches invalidate) even when no table could be repaired.
 	s.faults.epoch++
+	if s.cfg.VerifyEpochs {
+		s.verifyEpoch()
+	}
 }
 
 // applyLFTUpdate rewrites one switch's live forwarding table with a staged
@@ -478,6 +487,9 @@ func (s *Sim) applyLFTUpdate(idx int) {
 	s.lftEntriesRewritten += int64(len(u.entries))
 	s.faults.lastRepairNs = s.now
 	s.faults.epoch++
+	if s.cfg.VerifyEpochs {
+		s.verifyEpoch()
+	}
 }
 
 // reselectActive reports whether fault-avoiding source selection is in

@@ -26,7 +26,11 @@ func faultCfg(t *testing.T, scheme core.Scheme, plan *FaultPlan) Config {
 		WarmupNs: 20_000, MeasureNs: 100_000,
 		SeriesIntervalNs: 5_000,
 		FaultPlan:        plan,
-		Seed:             21,
+		// Every SM epoch of the fault suite is statically verified: the
+		// mid-repair tables must never contain a defect the dead links
+		// don't explain (internal/verify's severity contract).
+		VerifyEpochs: true,
+		Seed:         21,
 	}
 }
 

@@ -37,7 +37,8 @@ func TestDropPktCreditReturnAcrossVLs(t *testing.T) {
 					},
 					Reselect: true,
 				},
-				Seed: 21,
+				VerifyEpochs: true,
+				Seed:         21,
 			}
 			res, err := Run(cfg)
 			if err != nil {

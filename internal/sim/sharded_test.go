@@ -46,6 +46,10 @@ func shardMatrixCases(t *testing.T) []struct {
 				},
 				Reselect: true,
 			},
+			// Epoch verification runs on lane 0 under the barrier; its
+			// counters land in the Result, so DeepEqual across shard
+			// counts also proves the hook is shard-deterministic.
+			VerifyEpochs: true,
 		}},
 		{"transport-fault", Config{
 			Subnet: mlid82, Pattern: traffic.Uniform{Nodes: mlid82.Tree.Nodes()},
@@ -54,7 +58,8 @@ func shardMatrixCases(t *testing.T) []struct {
 			FaultPlan: &FaultPlan{
 				Faults: []LinkFault{{Switch: 2, Port: 0, DownNs: 8_000, UpNs: 20_000}},
 			},
-			Transport: &TransportConfig{MaxRetries: 2, DrainNs: 120_000},
+			VerifyEpochs: true,
+			Transport:    &TransportConfig{MaxRetries: 2, DrainNs: 120_000},
 		}},
 	}
 }

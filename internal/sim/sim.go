@@ -329,6 +329,8 @@ func (s *Sim) buildResult(horizon Time, events int64) Result {
 		res.LFTUpdates = s.lftUpdates
 		res.LFTEntriesRewritten = s.lftEntriesRewritten
 		res.BrokenEntries = s.faults.lastBroken
+		res.VerifiedEpochs = s.faults.verifiedEpochs
+		res.VerifyWarnings = s.faults.verifyWarnings
 		res.LastDropNs = s.lastDropNs
 		if s.faults.firstDownNs >= 0 {
 			res.FirstFaultNs = s.faults.firstDownNs

@@ -160,7 +160,8 @@ func (sm *MADSubnetManager) Configure() (*ib.Subnet, error) {
 	}
 	space := eng.LIDSpace(t)
 	if space > 1<<16 {
-		return nil, fmt.Errorf("sm: scheme %s needs %d LIDs, beyond the 16-bit space", eng.Name(), space)
+		return nil, fmt.Errorf("%w: scheme %s needs %d LIDs, beyond the 16-bit space",
+			ib.ErrLIDSpaceExhausted, eng.Name(), space)
 	}
 
 	// Phase 3: endport addressing.

@@ -1,0 +1,249 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"mlid/internal/ib"
+	"mlid/internal/topology"
+)
+
+// checkDeadlock builds the channel-dependency graph each virtual lane's
+// traffic induces — an edge from channel A to channel B whenever some route
+// can hold A while requesting B — and searches it for cycles (Dally &
+// Seitz: acyclic proves deadlock freedom under credit-based flow control).
+//
+// It generalizes core.CheckDeadlockFree in two ways the fault path needs:
+// routes through broken tables contribute the dependencies of the hops they
+// actually traverse instead of failing the whole check (a packet heading
+// into a dead link drops there instantly, holding nothing further, so the
+// dead hop forms no edge), and the cycle witness is the shortest one in the
+// graph, not the first one a DFS stumbles into.
+func (f *fabric) checkDeadlock(rep *Report, opt Options) {
+	if opt.VLOf == nil {
+		// Every lane carries every route: one graph proves all lanes.
+		f.deadlockGraph(rep, -1, opt)
+		return
+	}
+	for vl := 0; vl < opt.VLs; vl++ {
+		f.deadlockGraph(rep, vl, opt)
+	}
+}
+
+// deadlockGraph accumulates and checks the dependency graph of one lane
+// (vl < 0: the shared graph of all lanes).
+func (f *fabric) deadlockGraph(rep *Report, vl int, opt Options) {
+	t := f.t
+	numChan := t.Switches() * f.m
+	edges := make(map[int64]struct{})
+	used := make([]bool, numChan)
+
+	for sw := 0; sw < t.Switches(); sw++ {
+		leaf := topology.SwitchID(sw)
+		if !t.IsLeaf(leaf) {
+			continue
+		}
+		for p := 0; p < t.Nodes(); p++ {
+			r := f.in.Endports[p]
+			for off := 0; off < r.Count(); off++ {
+				lid := int(r.Base) + off
+				if lid <= 0 || lid >= f.space || f.owner[lid] != int32(p) {
+					continue
+				}
+				if vl >= 0 && opt.VLOf(ib.LID(lid), opt.VLs) != vl {
+					continue
+				}
+				f.routeDeps(leaf, lid, edges, used)
+			}
+		}
+	}
+
+	channels := 0
+	for _, u := range used {
+		if u {
+			channels++
+		}
+	}
+	if channels > rep.Stats.Channels {
+		rep.Stats.Channels = channels
+	}
+	if len(edges) > rep.Stats.Dependencies {
+		rep.Stats.Dependencies = len(edges)
+	}
+
+	adj := buildAdjacency(edges, numChan)
+	cycle := shortestCycle(adj, numChan)
+	if cycle == nil {
+		return
+	}
+	witness := make([]string, len(cycle))
+	for i, c := range cycle {
+		witness[i] = f.linkLabel(topology.SwitchID(c/f.m), c%f.m)
+	}
+	lane := "every VL (no VL transitions)"
+	if vl >= 0 {
+		lane = fmt.Sprintf("VL %d", vl)
+	}
+	rep.add(f.cap, Finding{
+		Analyzer: "deadlock",
+		Severity: Error,
+		Location: witness[0],
+		Message:  fmt.Sprintf("channel-dependency cycle of %d links on %s: credit deadlock possible", len(cycle), lane),
+		Witness:  witness,
+	})
+}
+
+// routeDeps walks one route and records its channel dependencies: each
+// consecutive pair of live out-links forms an edge. The walk stops silently
+// at any defect — reachability owns the findings.
+func (f *fabric) routeDeps(leaf topology.SwitchID, lid int, edges map[int64]struct{}, used []bool) {
+	t := f.t
+	maxSwitches := 2*t.N() + 2
+	sw := leaf
+	prev := -1
+	for hops := 0; hops < maxSwitches; hops++ {
+		phys := f.in.LFTs[sw].Port(ib.LID(lid))
+		if phys == ib.PortNone || phys == 0 || int(phys) > f.m {
+			return
+		}
+		ab := int(phys) - 1
+		if f.deadAt(sw, ab) {
+			return // the packet drops at sw; the dead channel is never held
+		}
+		cur := int(sw)*f.m + ab
+		used[cur] = true
+		if prev >= 0 {
+			edges[int64(prev)<<32|int64(cur)] = struct{}{}
+		}
+		ref := t.SwitchNeighbor(sw, ab)
+		if ref.Kind != topology.KindSwitch {
+			return
+		}
+		sw = ref.Switch
+		prev = cur
+	}
+}
+
+// buildAdjacency turns the edge set into sorted adjacency lists, so every
+// later traversal is deterministic.
+func buildAdjacency(edges map[int64]struct{}, numChan int) [][]int32 {
+	keys := make([]int64, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	adj := make([][]int32, numChan)
+	for _, k := range keys {
+		a, b := int(k>>32), int32(k&0xffffffff)
+		adj[a] = append(adj[a], b)
+	}
+	return adj
+}
+
+// shortestCycle returns the shortest directed cycle in the graph (nil if
+// acyclic). A cheap DFS 3-coloring decides existence first; only when a
+// cycle exists does the quadratic shortest-search run (per-node BFS back to
+// itself), so the healthy-fabric path stays linear.
+func shortestCycle(adj [][]int32, numChan int) []int {
+	if !hasCycle(adj, numChan) {
+		return nil
+	}
+	var best []int
+	dist := make([]int32, numChan)
+	parent := make([]int32, numChan)
+	queue := make([]int32, 0, numChan)
+	for start := 0; start < numChan; start++ {
+		if len(adj[start]) == 0 {
+			continue
+		}
+		if best != nil && len(best) == 2 {
+			break // nothing shorter than a 2-cycle can follow (self-loops handled below)
+		}
+		// Self-loop: the shortest possible cycle.
+		for _, nb := range adj[start] {
+			if int(nb) == start {
+				return []int{start}
+			}
+		}
+		for i := range dist {
+			dist[i] = -1
+			parent[i] = -1
+		}
+		queue = queue[:0]
+		for _, nb := range adj[start] {
+			if dist[nb] < 0 {
+				dist[nb] = 1
+				parent[nb] = int32(start)
+				queue = append(queue, nb)
+			}
+		}
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			if best != nil && int(dist[v]) >= len(best) {
+				break
+			}
+			for _, nb := range adj[v] {
+				if int(nb) == start {
+					cyc := []int{start}
+					for u := v; u != int32(start); u = parent[u] {
+						cyc = append(cyc, int(u))
+					}
+					// Reverse into walk order: start -> ... -> v -> start.
+					for i, j := 1, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					if best == nil || len(cyc) < len(best) {
+						best = cyc
+					}
+					break
+				}
+				if dist[nb] < 0 {
+					dist[nb] = dist[v] + 1
+					parent[nb] = v
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	return best
+}
+
+// hasCycle is an iterative DFS 3-coloring over the whole graph.
+func hasCycle(adj [][]int32, numChan int) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]uint8, numChan)
+	type frame struct {
+		node int32
+		next int
+	}
+	var stack []frame
+	for start := 0; start < numChan; start++ {
+		if color[start] != white || len(adj[start]) == 0 {
+			continue
+		}
+		color[start] = gray
+		stack = append(stack[:0], frame{node: int32(start)})
+		for len(stack) > 0 {
+			fr := &stack[len(stack)-1]
+			if fr.next >= len(adj[fr.node]) {
+				color[fr.node] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			nb := adj[fr.node][fr.next]
+			fr.next++
+			switch color[nb] {
+			case gray:
+				return true
+			case white:
+				color[nb] = gray
+				stack = append(stack, frame{node: nb})
+			}
+		}
+	}
+	return false
+}

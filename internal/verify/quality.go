@@ -1,0 +1,206 @@
+package verify
+
+import (
+	"fmt"
+
+	"mlid/internal/ib"
+	"mlid/internal/topology"
+)
+
+// checkQuality computes the static routing-quality metrics for the default
+// all-to-all matrix plus any supplied matrices: per-link maximal load (the
+// congestion bound simulation throughput cannot beat), path dilation
+// against the minimal up*/down* path, and the root-link balance spread.
+// Only flows whose selected route actually reaches the destination carry
+// load — a flow dying at a dead link contributes to Unrouted, not to
+// congestion. Metrics are reported as Info findings and in Stats.Quality;
+// quality never fails a fabric on its own.
+func (f *fabric) checkQuality(rep *Report, opt Options) {
+	n := f.t.Nodes()
+	f.qualityMatrix(rep, "all-to-all", func(visit func(src, dst topology.NodeID, w float64)) {
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s != d {
+					visit(topology.NodeID(s), topology.NodeID(d), 1)
+				}
+			}
+		}
+	})
+	for _, m := range opt.Matrices {
+		flows := m.Flows
+		f.qualityMatrix(rep, m.Name, func(visit func(src, dst topology.NodeID, w float64)) {
+			for _, fl := range flows {
+				if fl.Src != fl.Dst {
+					visit(fl.Src, fl.Dst, fl.Weight)
+				}
+			}
+		})
+	}
+}
+
+// qualityMatrix traces every flow of one matrix through the live tables and
+// folds the loads and dilations into a QualityReport.
+func (f *fabric) qualityMatrix(rep *Report, name string, each func(func(src, dst topology.NodeID, w float64))) {
+	t := f.t
+	numChan := t.Switches() * f.m
+	load := make([]float64, numChan)
+	scratch := make([]int32, 0, 2*t.N()+2)
+	q := QualityReport{Matrix: name}
+	var dilSum float64
+	routed := 0
+
+	each(func(src, dst topology.NodeID, w float64) {
+		q.Flows++
+		dlid, ok := f.selectDLID(src, dst)
+		if !ok {
+			q.Unrouted++
+			return
+		}
+		path, reached := f.tracePath(src, dst, dlid, scratch)
+		if !reached {
+			q.Unrouted++
+			return
+		}
+		routed++
+		// The final hop is the destination's attachment link; it is loaded
+		// identically by every scheme (all of dst's demand), so the
+		// congestion metrics cover the inter-switch hops only.
+		for _, c := range path[:len(path)-1] {
+			load[c] += w
+		}
+		hops := len(path)
+		min := f.minSwitches(src, dst)
+		if min > 0 {
+			d := float64(hops) / float64(min)
+			dilSum += d
+			if d > q.MaxDilation {
+				q.MaxDilation = d
+			}
+		}
+	})
+	if routed > 0 {
+		q.MeanDilation = dilSum / float64(routed)
+	}
+
+	// Inter-switch load summary; ascending channel-id scan keeps the float
+	// fold and the max tie-break deterministic.
+	usedLinks := 0
+	var sum float64
+	maxAt := -1
+	for c := 0; c < numChan; c++ {
+		v := load[c]
+		if v == 0 {
+			continue
+		}
+		usedLinks++
+		sum += v
+		if v > q.MaxLoad {
+			q.MaxLoad = v
+			maxAt = c
+		}
+	}
+	if usedLinks > 0 {
+		q.MeanLoad = sum / float64(usedLinks)
+	}
+	if maxAt >= 0 {
+		q.MaxLink = f.linkLabel(topology.SwitchID(maxAt/f.m), maxAt%f.m)
+	}
+
+	// Root-link balance: the descending links out of root switches, dead
+	// links excluded. The MLID root-per-LID assignment is designed to keep
+	// this spread flat; SLID concentrates destinations on fixed roots.
+	rootLinks := 0
+	var rootSum float64
+	first := true
+	for sw := 0; sw < t.Switches(); sw++ {
+		if !t.IsRoot(topology.SwitchID(sw)) {
+			continue
+		}
+		for p := 0; p < f.m; p++ {
+			if f.deadAt(topology.SwitchID(sw), p) {
+				continue
+			}
+			v := load[sw*f.m+p]
+			rootLinks++
+			rootSum += v
+			if v > q.RootLinkMax {
+				q.RootLinkMax = v
+			}
+			if first || v < q.RootLinkMin {
+				q.RootLinkMin = v
+				first = false
+			}
+		}
+	}
+	if rootLinks > 0 {
+		q.RootLinkMean = rootSum / float64(rootLinks)
+	}
+
+	rep.Stats.Quality = append(rep.Stats.Quality, q)
+	rep.add(f.cap, Finding{
+		Analyzer: "quality",
+		Severity: Info,
+		Location: t.String(),
+		Message: fmt.Sprintf("%s: max inter-switch load %.1f at %s (mean %.1f), dilation mean %.3f, root links max/mean/min %.1f/%.1f/%.1f, %d/%d flows unrouted",
+			name, q.MaxLoad, q.MaxLink, q.MeanLoad, q.MeanDilation,
+			q.RootLinkMax, q.RootLinkMean, q.RootLinkMin, q.Unrouted, q.Flows),
+		Witness: nil,
+	})
+}
+
+// selectDLID resolves the DLID a source uses toward dst: the explicit
+// override, the engine's path selection, or the destination's base LID.
+func (f *fabric) selectDLID(src, dst topology.NodeID) (ib.LID, bool) {
+	if f.in.SelectDLID != nil {
+		return f.in.SelectDLID(src, dst)
+	}
+	if f.in.Engine != nil {
+		return f.in.Engine.DLID(f.t, src, dst), true
+	}
+	return f.in.Endports[dst].Base, true
+}
+
+// tracePath walks the tables from src's leaf toward dlid and returns the
+// out-channels crossed (reusing scratch) and whether the walk delivered to
+// dst. Any defect — dead end, dead link, loop, misdelivery — is a failed
+// trace here; reachability owns the findings.
+func (f *fabric) tracePath(src, dst topology.NodeID, dlid ib.LID, scratch []int32) ([]int32, bool) {
+	t := f.t
+	if int(dlid) <= 0 || int(dlid) >= f.space {
+		return scratch[:0], false
+	}
+	path := scratch[:0]
+	sw, _ := t.NodeAttachment(src)
+	maxSwitches := 2*t.N() + 2
+	for hops := 0; hops < maxSwitches; hops++ {
+		phys := f.in.LFTs[sw].Port(dlid)
+		if phys == ib.PortNone || phys == 0 || int(phys) > f.m {
+			return path, false
+		}
+		ab := int(phys) - 1
+		if f.deadAt(sw, ab) {
+			return path, false
+		}
+		path = append(path, int32(int(sw)*f.m+ab))
+		ref := t.SwitchNeighbor(sw, ab)
+		switch ref.Kind {
+		case topology.KindNone:
+			return path, false
+		case topology.KindNode:
+			return path, ref.Node == dst
+		}
+		sw = ref.Switch
+	}
+	return path, false
+}
+
+// minSwitches is the minimal number of switches an up*/down* path between
+// the pair crosses: 1 on a shared leaf, else up to the least common
+// ancestor level and back down — 2*(n-1-alpha)+1 for prefix length alpha.
+func (f *fabric) minSwitches(src, dst topology.NodeID) int {
+	alpha := f.t.GCPLen(src, dst)
+	if alpha >= f.t.N()-1 {
+		return 1
+	}
+	return 2*(f.t.N()-1-alpha) + 1
+}

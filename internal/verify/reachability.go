@@ -1,0 +1,198 @@
+package verify
+
+import (
+	"fmt"
+
+	"mlid/internal/ib"
+	"mlid/internal/topology"
+)
+
+// Walk outcomes, per (leaf switch, assigned LID) route.
+const (
+	walkReached  = iota // delivered to the owning node
+	walkDeadLink        // blocked by a recorded dead link (observable drop)
+	walkDefect          // error-severity defect, finding already emitted
+)
+
+// checkReachability walks every (leaf switch, assigned LID) route through
+// the live tables — every packet enters the fabric at a leaf, so these walks
+// cover every forwardable (source, DLID) pair. Loops, dead ends,
+// misdeliveries and fall-offs are errors with the walked path as witness;
+// entries pointing at recorded dead links are warnings (the drop is the
+// documented fate of an unrepaireable entry); a destination whose every LID
+// is dead from some leaf gets one aggregated unreachability warning.
+func (f *fabric) checkReachability(rep *Report) {
+	t := f.t
+	// Per-entry dedup: a broken entry at switch S for LID L is one finding,
+	// not one per source leaf that reaches it.
+	type entryKey struct {
+		sw  int32
+		lid int
+	}
+	seen := make(map[entryKey]bool)
+	dedup := func(sw topology.SwitchID, lid int) bool {
+		k := entryKey{int32(sw), lid}
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+		return false
+	}
+	for sw := 0; sw < t.Switches(); sw++ {
+		leaf := topology.SwitchID(sw)
+		if !t.IsLeaf(leaf) {
+			continue
+		}
+		for p := 0; p < t.Nodes(); p++ {
+			r := f.in.Endports[p]
+			reached, deadBlocked, defects, routes := 0, 0, 0, 0
+			for off := 0; off < r.Count(); off++ {
+				lid := int(r.Base) + off
+				if lid <= 0 || lid >= f.space || f.owner[lid] != int32(p) {
+					continue // addressing already flagged the inconsistency
+				}
+				routes++
+				rep.Stats.RoutesChecked++
+				switch f.walkRoute(rep, dedup, leaf, lid, int32(p)) {
+				case walkReached:
+					reached++
+				case walkDeadLink:
+					deadBlocked++
+				case walkDefect:
+					defects++
+				}
+			}
+			// Aggregate unreachability: only when every failure is
+			// fault-explained (defects already carry their own errors).
+			if routes > 0 && reached == 0 && deadBlocked == routes {
+				rep.add(f.cap, Finding{
+					Analyzer: "reachability",
+					Severity: Warning,
+					Location: t.SwitchLabel(leaf),
+					Message: fmt.Sprintf("destination %s unreachable: all %d of its LIDs hit dead links from this leaf",
+						t.NodeLabel(topology.NodeID(p)), routes),
+					Witness: nil,
+				})
+			}
+		}
+	}
+}
+
+// walkRoute follows one (leaf, LID) route hop by hop and reports its
+// outcome, emitting findings for defects along the way.
+func (f *fabric) walkRoute(rep *Report, dedup func(topology.SwitchID, int) bool, leaf topology.SwitchID, lid int, dst int32) int {
+	t := f.t
+	maxSwitches := 2*t.N() + 2 // longest legal up*/down* path, plus slack
+	var path []topology.SwitchID
+	var ports []int
+	witness := func() []string {
+		out := make([]string, len(path))
+		for i, sw := range path {
+			out[i] = f.linkLabel(sw, ports[i])
+		}
+		return out
+	}
+	sw := leaf
+	for {
+		for i, prev := range path {
+			if prev == sw {
+				if !dedup(sw, lid) {
+					cyc := make([]string, 0, len(path)-i+1)
+					for j := i; j < len(path); j++ {
+						cyc = append(cyc, f.linkLabel(path[j], ports[j]))
+					}
+					rep.add(f.cap, Finding{
+						Analyzer: "reachability",
+						Severity: Error,
+						Location: t.SwitchLabel(sw),
+						Message:  fmt.Sprintf("forwarding loop for DLID %d (%d switches)", lid, len(cyc)),
+						Witness:  cyc,
+					})
+				}
+				return walkDefect
+			}
+		}
+		if len(path) >= maxSwitches {
+			if !dedup(sw, lid) {
+				rep.add(f.cap, Finding{
+					Analyzer: "reachability",
+					Severity: Error,
+					Location: t.SwitchLabel(sw),
+					Message:  fmt.Sprintf("route for DLID %d exceeds %d switches without delivery", lid, maxSwitches),
+					Witness:  witness(),
+				})
+			}
+			return walkDefect
+		}
+		phys := f.in.LFTs[sw].Port(ib.LID(lid))
+		if phys == ib.PortNone {
+			if !dedup(sw, lid) {
+				rep.add(f.cap, Finding{
+					Analyzer: "reachability",
+					Severity: Error,
+					Location: t.SwitchLabel(sw),
+					Message:  fmt.Sprintf("dead end: no forwarding entry for assigned DLID %d", lid),
+					Witness:  witness(),
+				})
+			}
+			return walkDefect
+		}
+		if phys == 0 || int(phys) > f.m {
+			if !dedup(sw, lid) {
+				rep.add(f.cap, Finding{
+					Analyzer: "reachability",
+					Severity: Error,
+					Location: t.SwitchLabel(sw),
+					Message:  fmt.Sprintf("DLID %d routed to invalid physical port %d", lid, phys),
+					Witness:  witness(),
+				})
+			}
+			return walkDefect
+		}
+		ab := int(phys) - 1
+		path = append(path, sw)
+		ports = append(ports, ab)
+		if f.deadAt(sw, ab) {
+			if !dedup(sw, lid) {
+				rep.add(f.cap, Finding{
+					Analyzer: "reachability",
+					Severity: Warning,
+					Location: f.linkLabel(sw, ab),
+					Message:  fmt.Sprintf("entry for DLID %d points at a down link (packets drop here)", lid),
+					Witness:  witness(),
+				})
+			}
+			return walkDeadLink
+		}
+		ref := t.SwitchNeighbor(sw, ab)
+		switch ref.Kind {
+		case topology.KindNone:
+			if !dedup(sw, lid) {
+				rep.add(f.cap, Finding{
+					Analyzer: "reachability",
+					Severity: Error,
+					Location: f.linkLabel(sw, ab),
+					Message:  fmt.Sprintf("route for DLID %d falls off the fabric (unwired port)", lid),
+					Witness:  witness(),
+				})
+			}
+			return walkDefect
+		case topology.KindNode:
+			if int32(ref.Node) != dst {
+				if !dedup(sw, lid) {
+					rep.add(f.cap, Finding{
+						Analyzer: "reachability",
+						Severity: Error,
+						Location: f.linkLabel(sw, ab),
+						Message: fmt.Sprintf("misdelivery: DLID %d owned by %s delivered to %s",
+							lid, t.NodeLabel(topology.NodeID(dst)), t.NodeLabel(ref.Node)),
+						Witness: witness(),
+					})
+				}
+				return walkDefect
+			}
+			return walkReached
+		}
+		sw = ref.Switch
+	}
+}

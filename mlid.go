@@ -85,6 +85,12 @@ type LID = ib.LID
 // a linear forwarding table in every switch.
 type Subnet = ib.Subnet
 
+// ErrLIDSpaceExhausted is returned (wrapped) by Configure when the scheme's
+// LID plan does not fit the 16-bit LID space — e.g. MLID on FT(16,3), which
+// needs 65,537 LIDs. Callers match it with errors.Is and suggest the SLID
+// scheme or a smaller tree.
+var ErrLIDSpaceExhausted = ib.ErrLIDSpaceExhausted
+
 // Configure runs the subnet manager against the fabric: discovery, LID
 // assignment with the scheme's LMC, and forwarding-table programming.
 func Configure(t *Tree, s Scheme) (*Subnet, error) {
@@ -438,6 +444,42 @@ func FormatChaos(rows []EvalChaosRow) string { return experiment.FormatChaos(row
 
 // ChaosCSV renders chaos rows in long form.
 func ChaosCSV(rows []EvalChaosRow) string { return experiment.ChaosCSV(rows) }
+
+// Degraded-fabric quality study types: at each fault rate a seeded link
+// sample fails, and the study records both the static ibverify quality view
+// of the repaired tables and a full simulation of the same outage (see
+// internal/verify and EXPERIMENTS.md).
+type (
+	// EvalDegradedSpec configures the degraded-fabric quality study.
+	EvalDegradedSpec = experiment.DegradedSpec
+	// EvalDegradedRow is one (scheme, fault rate) outcome of the study.
+	EvalDegradedRow = experiment.DegradedRow
+)
+
+// EvalDegradedSpecDefault returns the full-fidelity degraded study spec.
+func EvalDegradedSpecDefault() EvalDegradedSpec { return experiment.DegradedStudySpec() }
+
+// EvalDegradedSpecQuick returns the reduced-cost degraded study spec.
+func EvalDegradedSpecQuick() EvalDegradedSpec { return experiment.QuickDegradedSpec() }
+
+// EvalDegradedStudy runs the degraded-fabric sweep for both schemes across
+// the spec's fault rates, each pair on an identical link sample.
+func EvalDegradedStudy(spec EvalDegradedSpec) ([]EvalDegradedRow, error) {
+	return experiment.DegradedStudy(spec)
+}
+
+// DegradedOrderingConsistent checks that the static predicted-accepted
+// ranking of the schemes matches the simulated accepted-throughput ordering
+// at every fault rate.
+func DegradedOrderingConsistent(rows []EvalDegradedRow) error {
+	return experiment.DegradedOrderingConsistent(rows)
+}
+
+// FormatDegraded renders degraded rows as a markdown table.
+func FormatDegraded(rows []EvalDegradedRow) string { return experiment.FormatDegraded(rows) }
+
+// DegradedCSV renders degraded rows in long form.
+func DegradedCSV(rows []EvalDegradedRow) string { return experiment.DegradedCSV(rows) }
 
 // Observation is one of the paper's evaluation claims checked against
 // measured figures.
