@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test ci bench bench-json bench-engine vet lint lint-fix race soak shard-smoke verify-smoke
+.PHONY: build test ci bench bench-json bench-engine vet lint lint-fix race soak shard-smoke verify-smoke adaptive-smoke
 
 build:
 	$(GO) build ./...
@@ -69,10 +69,17 @@ verify-smoke:
 	$(GO) run ./cmd/ibverify -m 8 -n 2 -scheme MLID -vls 2 -fault 2:2,9:3
 	! $(GO) run ./cmd/ibverify -m 16 -n 3 -scheme MLID
 
+# adaptive-smoke runs the reduced path-selection family study: every
+# pluggable selector (rank, random, flowspray, adaptive, pktspray) over the
+# same MLID fabric on the policy-separating workloads, quiet and degraded,
+# with packet conservation asserted inside every run.
+adaptive-smoke:
+	$(GO) run ./cmd/ibsweep -adaptive -quick
+
 # ci is the gate for every change: tier-1 tests plus vet, ibvet, the race
-# pass, the chaos soak, the shard-determinism smoke and the static
-# verification smoke.
-ci: build vet lint test race soak shard-smoke verify-smoke
+# pass, the chaos soak, the shard-determinism smoke, the static verification
+# smoke and the path-selection family smoke.
+ci: build vet lint test race soak shard-smoke verify-smoke adaptive-smoke
 
 # BENCH_TIME / BENCH_COUNT tune the figure benchmarks: the committed defaults
 # (one iteration, run once) keep `make ci` cheap, but single-iteration numbers

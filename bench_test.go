@@ -330,8 +330,8 @@ func BenchmarkAblationPathSelect(b *testing.B) {
 	}
 	for _, pol := range []struct {
 		name string
-		p    mlid.PathSelectPolicy
-	}{{"rank", mlid.PathSelectRank}, {"random", mlid.PathSelectRandom}} {
+		p    mlid.Selector
+	}{{"rank", mlid.SelectRank()}, {"random", mlid.SelectRandom()}} {
 		b.Run(pol.name, func(b *testing.B) {
 			var acc float64
 			for i := 0; i < b.N; i++ {

@@ -58,6 +58,7 @@ func main() {
 		warmup    = flag.Int64("warmup", 100_000, "warmup window in ns")
 		measure   = flag.Int64("measure", 300_000, "measurement window in ns")
 		seed      = flag.Int64("seed", 1, "random seed")
+		selName   = flag.String("select", "rank", "path-selection policy: rank, random, flowspray, adaptive, pktspray")
 		reception = flag.String("reception", "ideal", "endnode reception model: ideal or link")
 		switching = flag.String("switching", "vct", "switching mode: vct or saf")
 		hist      = flag.Bool("hist", false, "print a latency histogram")
@@ -76,6 +77,8 @@ func main() {
 	pat, err := mlid.PatternByName(*pattern, tree.Nodes(), *hotspot)
 	fatal(err)
 	subnet, err := mlid.Configure(tree, s)
+	fatal(err)
+	sel, err := mlid.SelectorByName(*selName)
 	fatal(err)
 
 	rec := mlid.ReceptionIdeal
@@ -119,6 +122,7 @@ func main() {
 		MeasureNs:        *measure,
 		Reception:        rec,
 		Switching:        sw,
+		PathSelect:       sel,
 		LatencyHist:      latHist,
 		CollectPortStats: *topPorts > 0,
 		TracePackets:     *tracePkts,
@@ -129,8 +133,8 @@ func main() {
 	writeMemProfile(*memProf)
 	fatal(err)
 
-	fmt.Printf("%s, %s scheme, %s traffic, %d VL(s), %d-byte packets\n",
-		tree, s.Name(), pat.Name(), *vls, *pktSize)
+	fmt.Printf("%s, %s scheme, %s traffic, %s selection, %d VL(s), %d-byte packets\n",
+		tree, s.Name(), pat.Name(), sel.Name(), *vls, *pktSize)
 	fmt.Printf("offered load:      %.4f bytes/ns/node\n", res.OfferedLoad)
 	fmt.Printf("accepted traffic:  %.4f bytes/ns/node", res.Accepted)
 	if res.Saturated {

@@ -13,6 +13,8 @@
 //	ibsweep -chaos -quick -csv out/     # reduced campaign, CSV to out/chaos.csv
 //	ibsweep -degraded               # static verifier vs simulation across fault rates
 //	ibsweep -degraded -quick -csv out/  # reduced study, CSV to out/degraded.csv
+//	ibsweep -adaptive               # path-selection family study (rank/random/flowspray/adaptive/pktspray)
+//	ibsweep -adaptive -quick -csv out/  # reduced study, CSV to out/adaptive.csv
 //
 // Full-fidelity sweeps of the two 128-node networks take a few minutes and
 // the 512-node network longer; -quick cuts the load points and windows while
@@ -38,6 +40,7 @@ func main() {
 		fault    = flag.Bool("fault", false, "run the recovery-transient study: a live link failure mid-measurement, SLID vs MLID")
 		chaos    = flag.Bool("chaos", false, "run the seeded chaos campaign: link flaps and switch kills with the reliable transport, SLID vs MLID")
 		degraded = flag.Bool("degraded", false, "run the degraded-fabric quality study: static verifier predictions vs simulated throughput across fault rates, SLID vs MLID")
+		adaptive = flag.Bool("adaptive", false, "run the path-selection family study: every pluggable selector on policy-separating workloads over the MLID fabric, with a degraded-fabric axis")
 		quick    = flag.Bool("quick", false, "reduced load points and windows")
 		shards   = flag.Int("shards", 0, "parallel shards per simulation run; 0 = min(GOMAXPROCS, leaf groups) per network, 1 = the single-engine path; results are identical for every value")
 		chart    = flag.Bool("chart", false, "render ASCII charts to stdout")
@@ -130,8 +133,27 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if *adaptive {
+		spec := mlid.EvalAdaptiveSpecDefault()
+		if *quick {
+			spec = mlid.EvalAdaptiveSpecQuick()
+		}
+		spec.Shards = *shards
+		fmt.Printf("path-selection family: %s, load %.2f B/ns/node, fault rate %.2f, seed %d\n",
+			spec.Network, spec.OfferedLoad, spec.FaultRate, spec.Seed)
+		rows, err := mlid.EvalAdaptiveStudy(spec)
+		fatal(err)
+		fmt.Print(mlid.FormatAdaptive(rows))
+		if *csvDir != "" {
+			fatal(os.MkdirAll(*csvDir, 0o755))
+			path := filepath.Join(*csvDir, "adaptive.csv")
+			fatal(os.WriteFile(path, []byte(mlid.AdaptiveCSV(rows)), 0o644))
+			fmt.Printf("wrote %s\n", path)
+		}
+		fmt.Println()
+	}
 	if *fig == "" {
-		if !*table1 && !*fault && !*chaos && !*degraded {
+		if !*table1 && !*fault && !*chaos && !*degraded && !*adaptive {
 			flag.Usage()
 			os.Exit(2)
 		}

@@ -9,6 +9,7 @@
 //
 //	ibverify -m 8 -n 3 -scheme MLID -vls 2
 //	ibverify -m 8 -n 2 -scheme MLID -fault 2:2,9:3     # verify SM-repaired tables
+//	ibverify -m 8 -n 2 -fault 2:2 -select adaptive     # quality pass under a path-selection policy
 //	ibverify -m 8 -n 3 -degraded 0.10                  # static-vs-simulated sweep
 //	ibverify -m 16 -n 3 -scheme MLID                   # LID-space overflow finding
 //
@@ -22,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
@@ -29,6 +31,7 @@ import (
 	"mlid/internal/core"
 	"mlid/internal/experiment"
 	"mlid/internal/ib"
+	"mlid/internal/sim"
 	"mlid/internal/topology"
 	"mlid/internal/verify"
 )
@@ -41,6 +44,7 @@ func main() {
 		vls      = flag.Int("vls", 1, "data virtual lanes to prove deadlock freedom for")
 		jsonOut  = flag.Bool("json", false, "emit findings as JSON lines (CSV under -degraded)")
 		fault    = flag.String("fault", "", "comma-separated sw:port links to fail before verifying the SM-repaired tables")
+		selName  = flag.String("select", "", "trace the quality pass under a path-selection policy (rank, random, flowspray, adaptive, pktspray); default: the scheme's canonical choice, or rank reselection under -fault")
 		degraded = flag.Float64("degraded", 0, "run the degraded-fabric sweep up to this fault rate (e.g. 0.10), comparing SLID vs MLID+reselect statically and in simulation")
 		quick    = flag.Bool("quick", false, "with -degraded, use the reduced-cost study spec")
 	)
@@ -49,12 +53,12 @@ func main() {
 	if *degraded > 0 {
 		os.Exit(runDegraded(*m, *n, *degraded, *quick, *jsonOut))
 	}
-	os.Exit(runVerify(*m, *n, *scheme, *vls, *fault, *jsonOut))
+	os.Exit(runVerify(*m, *n, *scheme, *vls, *fault, *selName, *jsonOut))
 }
 
 // runVerify is the single-fabric mode: configure, optionally fail+repair,
 // then run every analyzer and render the report.
-func runVerify(m, n int, schemeName string, vls int, faultList string, jsonOut bool) int {
+func runVerify(m, n int, schemeName string, vls int, faultList, selName string, jsonOut bool) int {
 	tree, err := topology.New(m, n)
 	fatal(err)
 	eng, err := core.ByName(schemeName)
@@ -73,10 +77,11 @@ func runVerify(m, n int, schemeName string, vls int, faultList string, jsonOut b
 	fatal(err)
 	in := verify.FromSubnet(sn)
 
+	var fs *core.FaultSet
 	if faultList != "" {
 		links, err := parseLinks(tree, faultList)
 		fatal(err)
-		fs := core.NewFaultSet()
+		fs = core.NewFaultSet()
 		for _, l := range links {
 			fs.FailLink(tree, topology.SwitchID(l[0]), int(l[1]))
 		}
@@ -89,6 +94,22 @@ func runVerify(m, n int, schemeName string, vls int, faultList string, jsonOut b
 		in.SelectDLID = func(src, dst topology.NodeID) (ib.LID, bool) {
 			lid, _, ok := core.SelectDLID(tree, eng, src, dst, fs)
 			return lid, ok
+		}
+	}
+	if selName != "" {
+		// A named policy overrides the rank-reselection hook: the quality
+		// pass traces what each source's first packet would carry under the
+		// selector, over the same fault-filtered candidate set the simulator
+		// presents (an empty fault set filters nothing).
+		sel, err := sim.SelectorByName(selName)
+		fatal(err)
+		in.SelectDLID = func(src, dst topology.NodeID) (ib.LID, bool) {
+			base, count, canonical, mask := core.UsableOffsets(tree, eng, src, dst, fs)
+			if mask == 0 {
+				return 0, false
+			}
+			rng := rand.New(rand.NewSource(int64(src)*1_000_003 + int64(dst)))
+			return base + ib.LID(sim.StaticSelect(sel, src, dst, base, count, canonical, mask, rng)), true
 		}
 	}
 

@@ -30,6 +30,7 @@ import (
 	"mlid/internal/lint/load"
 	"mlid/internal/lint/maporder"
 	"mlid/internal/lint/pktpool"
+	"mlid/internal/lint/selectorpure"
 	"mlid/internal/lint/shardsafe"
 	"mlid/internal/lint/simdeterminism"
 )
@@ -41,6 +42,7 @@ var analyzers = []*analysis.Analyzer{
 	maporder.Analyzer,
 	pktpool.Analyzer,
 	hotpath.Analyzer,
+	selectorpure.Analyzer,
 	goldendrift.Analyzer,
 	findingfmt.Analyzer,
 }

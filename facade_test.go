@@ -83,8 +83,14 @@ func TestFacadePatternsAndPolicies(t *testing.T) {
 	if l.Name() == "" {
 		t.Error("local name")
 	}
-	if mlid.PathSelectRank == mlid.PathSelectRandom {
+	if mlid.SelectRank().Name() == mlid.SelectRandom().Name() {
 		t.Error("path policies collide")
+	}
+	if got := len(mlid.SelectorNames()); got != 5 {
+		t.Errorf("SelectorNames: %d names, want 5", got)
+	}
+	if _, err := mlid.SelectorByName("adaptive"); err != nil {
+		t.Errorf("SelectorByName(adaptive): %v", err)
 	}
 	if mlid.VLRoundRobin == mlid.VLByDLID {
 		t.Error("VL policies collide")
@@ -130,7 +136,7 @@ func TestFacadeSimKnobs(t *testing.T) {
 		Pattern:          mlid.UniformTraffic(tree.Nodes()),
 		OfferedLoad:      0.2,
 		Reception:        mlid.ReceptionLink,
-		PathSelect:       mlid.PathSelectRandom,
+		PathSelect:       mlid.SelectRandom(),
 		VLSelect:         mlid.VLByDLID,
 		Switching:        mlid.SwitchingSAF,
 		LatencyHist:      hist,

@@ -84,6 +84,35 @@ func SelectDLID(t *topology.Tree, s Scheme, src, dst topology.NodeID, faults *Fa
 	return 0, Path{}, false
 }
 
+// UsableOffsets enumerates the candidate path offsets for (src, dst) exactly
+// as a running simulation would present them to a path Selector: base is the
+// destination's base LID, count the scheme's offset range (capped at 64 to
+// match the mask width), canonical the scheme's static choice, and mask has
+// bit i set when LID base+i traces to dst without crossing a failed link.
+// The mask is zero only when the fault set disconnects the pair entirely.
+func UsableOffsets(t *topology.Tree, s Scheme, src, dst topology.NodeID, faults *FaultSet) (base ib.LID, count, canonical int, mask uint64) {
+	base = s.BaseLID(t, dst)
+	count = 1 << s.LMC(t)
+	if count > 64 {
+		count = 64
+	}
+	canonical = int(s.DLID(t, src, dst) - base)
+	if canonical < 0 || canonical >= count {
+		canonical = 0
+	}
+	for off := 0; off < count; off++ {
+		p, err := TraceLID(t, s, src, base+ib.LID(off))
+		if err != nil || p.Dst != dst {
+			continue
+		}
+		if faults != nil && faults.Blocked(p) {
+			continue
+		}
+		mask |= 1 << uint(off)
+	}
+	return base, count, canonical, mask
+}
+
 // Reachability reports, for a given fault set, how many (src, dst) pairs the
 // scheme can still serve through some named LID, over all ordered pairs of
 // distinct nodes. It is used to compare MLID's and SLID's fault tolerance.

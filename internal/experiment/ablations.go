@@ -108,7 +108,7 @@ func RunAblations(quick bool) ([]AblationRow, error) {
 		ablationSpec{
 			experiment: "EX-G pathselect", setting: "MLID random offset",
 			scheme: core.NewMLID(), pattern: bitcomp,
-			mutate: func(cfg *sim.Config) { cfg.OfferedLoad = 0.7; cfg.PathSelect = sim.PathSelectRandom },
+			mutate: func(cfg *sim.Config) { cfg.OfferedLoad = 0.7; cfg.PathSelect = sim.SelectRandom() },
 		})
 	// EX-H: VL mapping under the hotspot.
 	for _, s := range core.Schemes() {

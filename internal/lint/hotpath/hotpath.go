@@ -57,7 +57,11 @@ var hotFuncs = map[string]bool{
 	"deliverIdeal": true, "nodeArrive": true, "deliver": true,
 	"nodePid": true, "seriesBin": true,
 	// live-fault fast path (faults.go): per-packet once a fault plan is active
-	"dropPkt": true, "pathAlive": true, "usableMask": true, "reselect": true,
+	"dropPkt": true, "pathAlive": true, "usableMask": true, "reselectActive": true,
+	// path selection (selector.go): every Select method plus the congestion
+	// view it reads and the helpers under it, all once per generated packet
+	"Select": true, "Occupancy": true, "Credits": true, "Load": true,
+	"applyDLIDFunc": true, "nthSetBit": true,
 	// transport (transport.go)
 	"flowIdx": true, "txTrack": true, "armTimer": true, "retransmit": true,
 	"rxAccept": true, "sendCtrl": true, "ctrlArrive": true, "rexmitTimer": true,

@@ -1,0 +1,11 @@
+package selectorpure
+
+import (
+	"testing"
+
+	"mlid/internal/lint/linttest"
+)
+
+func TestSelectorPure(t *testing.T) {
+	linttest.Run(t, Analyzer, "sim")
+}

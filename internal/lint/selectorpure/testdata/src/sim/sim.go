@@ -1,0 +1,77 @@
+// Package sim is a selectorpure testdata fixture: its leaf name matches the
+// simulator package, so Select methods on *Selector types are checked for
+// purity violations.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sim stands in for the engine; Select must never reach it.
+type Sim struct {
+	clock int64
+}
+
+// SelectContext mirrors the real context shape.
+type SelectContext struct {
+	Seq  uint32
+	RNG  *rand.Rand
+	Mask uint64
+	sim  *Sim
+}
+
+type badClockSelector struct{}
+
+func (badClockSelector) Select(c *SelectContext) (int, bool) {
+	if time.Now().UnixNano()%2 == 0 { // want `time\.Now in Select`
+		return 1, false
+	}
+	time.Sleep(time.Millisecond) // want `time\.Sleep in Select`
+	return 0, false
+}
+
+type badRandSelector struct{}
+
+func (badRandSelector) Select(c *SelectContext) (int, bool) {
+	k := rand.Intn(4)                         // want `math/rand Intn in Select`
+	rng := rand.New(rand.NewSource(int64(k))) // want `math/rand New in Select` `math/rand NewSource in Select`
+	return rng.Intn(2), false
+}
+
+type badEngineSelector struct{}
+
+func (badEngineSelector) Select(c *SelectContext) (int, bool) {
+	s := c.sim                     // want `s has type \*sim\.Sim` `sim has type \*sim\.Sim`
+	return int(s.clock % 4), false // want `s has type \*sim\.Sim`
+}
+
+type goodSelector struct{}
+
+// Negative case: drawing from the context's seeded stream and keying on the
+// packet sequence is exactly the sanctioned shape.
+func (goodSelector) Select(c *SelectContext) (int, bool) {
+	if c.Seq%2 == 0 {
+		return c.RNG.Intn(2), false
+	}
+	return 0, false
+}
+
+type ignoredSelector struct{}
+
+// The driver honors a reasoned directive (linttest deliberately does not,
+// so the want comment below documents the raw diagnostic).
+func (ignoredSelector) Select(c *SelectContext) (int, bool) {
+	//lint:ignore selectorpure fixture: demonstrates the suppression syntax
+	return rand.Intn(2), false // want `math/rand Intn in Select`
+}
+
+// Negative case: a helper that is not a Select method may use whatever it
+// wants — purity is enforced at the policy boundary.
+func shuffleSeed() int64 { return time.Now().UnixNano() + int64(rand.Intn(9)) }
+
+// Negative case: a Select method on a type not named *Selector is out of
+// scope (it is not part of the policy family).
+type router struct{}
+
+func (router) Select(c *SelectContext) (int, bool) { return rand.Intn(2), false }

@@ -29,7 +29,7 @@ type BatchConfig struct {
 	BufPackets                int
 	FlyNs, RouteNs, NsPerByte Time
 	Reception                 ReceptionModel
-	PathSelect                PathSelectPolicy
+	PathSelect                Selector
 	VLSelect                  VLPolicy
 	Switching                 SwitchingMode
 	// DLIDFunc overrides path selection, as in Config.DLIDFunc.
@@ -146,7 +146,12 @@ func (batchPattern) Dest(int, *rand.Rand) int {
 // the node's source queue.
 func (s *Sim) enqueueBatchPacket(src, dst topology.NodeID) {
 	n := &s.nodes[src]
-	dlid := s.selectDLID(n, src, dst)
+	var seq uint32
+	if s.flowSeq != nil {
+		seq = s.flowSeq[int(src)*s.tree.Nodes()+int(dst)] + 1
+		s.flowSeq[int(src)*s.tree.Nodes()+int(dst)] = seq
+	}
+	dlid := s.selectDLID(n, src, dst, seq)
 	s.totalGenerated++
 	var vl int
 	if s.cfg.VLSelect == VLByDLID {

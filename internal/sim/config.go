@@ -76,19 +76,6 @@ const (
 	SwitchingSAF
 )
 
-// PathSelectPolicy chooses how sources pick among a destination's LIDs.
-type PathSelectPolicy int
-
-const (
-	// PathSelectRank is the paper's policy: the scheme's DLID function
-	// (source rank within its gcpg selects the path offset).
-	PathSelectRank PathSelectPolicy = iota
-	// PathSelectRandom is an oblivious ablation: each packet draws a
-	// uniformly random offset within the destination's LID range. It uses
-	// the same forwarding tables; only the source-side selection changes.
-	PathSelectRandom
-)
-
 // Config describes one simulation run.
 type Config struct {
 	// Subnet is the configured subnet (topology + LID assignment + LFTs)
@@ -117,9 +104,13 @@ type Config struct {
 	// Reception selects the endnode consumption model; the zero value is
 	// ReceptionIdeal, the paper-faithful choice.
 	Reception ReceptionModel
-	// PathSelect selects the source-side multipath policy; the zero value
-	// is the paper's rank-based selection.
-	PathSelect PathSelectPolicy
+	// PathSelect selects the source-side multipath policy: any Selector
+	// (SelectRank, SelectRandom, SelectFlowSpray, SelectAdaptive,
+	// SelectPktSpray, or a custom implementation). nil is the paper's
+	// rank-based selection. Fault reselection (FaultPlan.Reselect) composes
+	// with every selector: it filters the candidate offsets to surviving
+	// paths, then the selector chooses among them.
+	PathSelect Selector
 	// DLIDFunc, when non-nil, overrides path selection entirely: it is
 	// called per packet with (src, dst) and must return a LID the
 	// destination owns. Used for profile-guided path plans
@@ -306,8 +297,10 @@ func (c Config) validate() error {
 	if c.Reception != ReceptionIdeal && c.Reception != ReceptionLink {
 		return fmt.Errorf("sim: unknown reception model %d", c.Reception)
 	}
-	if c.PathSelect != PathSelectRank && c.PathSelect != PathSelectRandom {
-		return fmt.Errorf("sim: unknown path-selection policy %d", c.PathSelect)
+	if c.PathSelect != nil && c.PathSelect.NeedsFlowState() {
+		if n := c.Subnet.Tree.Nodes(); n > 4096 {
+			return fmt.Errorf("sim: selector %q tracks per-(src,dst) flow state and supports fabrics up to 4096 nodes, got %d", c.PathSelect.Name(), n)
+		}
 	}
 	if c.VLSelect != VLRoundRobin && c.VLSelect != VLByDLID {
 		return fmt.Errorf("sim: unknown VL policy %d", c.VLSelect)

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"math/bits"
 	"sort"
 
 	"mlid/internal/core"
@@ -557,61 +556,6 @@ func (s *Sim) pathAlive(src topology.NodeID, dlid ib.LID, dst topology.NodeID) b
 		sw = topology.SwitchID(pt.destSw)
 	}
 	return false
-}
-
-// reselect picks a destination LID avoiding known-dead paths, honoring the
-// configured policy within the surviving set: rank selection keeps its
-// canonical choice when it survives, random selection draws uniformly over
-// the survivors. ok=false (every named path dead, or none tracked) falls
-// back to the caller's normal selection — the packet documents the outage by
-// dropping at the dead link.
-func (s *Sim) reselect(n *nodeState, src, dst topology.NodeID) (ib.LID, bool) {
-	mask := s.usableMask(src, dst)
-	if mask == 0 {
-		return 0, false
-	}
-	r := s.cfg.Subnet.Endports[dst]
-	count := r.Count()
-	if count > 64 {
-		count = 64
-	}
-	full := count == 64 && mask == ^uint64(0) || count < 64 && mask == (uint64(1)<<uint(count))-1
-	if s.cfg.PathSelect == PathSelectRandom {
-		alive := bits.OnesCount64(mask)
-		k := 0
-		if alive > 1 {
-			k = n.rng.Intn(alive)
-		}
-		off := 0
-		for m := mask; ; m &= m - 1 {
-			if k == 0 {
-				off = bits.TrailingZeros64(m)
-				break
-			}
-			k--
-		}
-		if !full {
-			s.noteReroute()
-		}
-		return r.Base + ib.LID(off), true
-	}
-	canonical := s.cfg.Subnet.DLID(src, dst)
-	off := int(canonical) - int(r.Base)
-	if off >= 0 && off < count && mask&(1<<uint(off)) != 0 {
-		return canonical, true
-	}
-	// Scan cyclically from the canonical offset for the nearest survivor.
-	for i := 1; i < count; i++ {
-		o := (off + i) % count
-		if o < 0 {
-			o += count
-		}
-		if mask&(1<<uint(o)) != 0 {
-			s.noteReroute()
-			return r.Base + ib.LID(o), true
-		}
-	}
-	return 0, false
 }
 
 // noteReroute counts one packet steered off a faulty path by reselection.

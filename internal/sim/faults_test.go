@@ -245,7 +245,7 @@ func TestFaultPlanDeterminism(t *testing.T) {
 		Reselect: true,
 	}
 	cfg := faultCfg(t, core.NewMLID(), plan)
-	cfg.PathSelect = PathSelectRandom
+	cfg.PathSelect = SelectRandom()
 	cfg.TracePackets = 4
 	cfg.CollectPortStats = true
 	run := func() Result {

@@ -117,7 +117,7 @@ func TestPathSelectRandom(t *testing.T) {
 		t.Fatal(err)
 	}
 	rnd := base
-	rnd.PathSelect = PathSelectRandom
+	rnd.PathSelect = SelectRandom()
 	random, err := Run(rnd)
 	if err != nil {
 		t.Fatal(err)
@@ -138,15 +138,21 @@ func TestPathSelectRandom(t *testing.T) {
 }
 
 func TestPathSelectValidation(t *testing.T) {
-	sn := mustSubnet(t, 4, 2, core.NewMLID())
-	_, err := Run(Config{
-		Subnet:      sn,
-		Pattern:     traffic.Uniform{Nodes: sn.Tree.Nodes()},
-		OfferedLoad: 0.1,
-		PathSelect:  PathSelectPolicy(5),
-	})
-	if err == nil {
-		t.Error("invalid path-selection policy accepted")
+	if _, err := SelectorByName("bogus"); err == nil {
+		t.Error("unknown selector name accepted")
+	}
+	for _, name := range SelectorNames() {
+		sel, err := SelectorByName(name)
+		if err != nil {
+			t.Errorf("SelectorByName(%q): %v", name, err)
+			continue
+		}
+		if sel.Name() != name {
+			t.Errorf("SelectorByName(%q).Name() = %q", name, sel.Name())
+		}
+	}
+	if sel, err := SelectorByName(""); err != nil || sel.Name() != "rank" {
+		t.Errorf("empty selector name: got %v, %v; want rank", sel, err)
 	}
 }
 
@@ -167,7 +173,7 @@ func TestSLIDRandomEqualsRank(t *testing.T) {
 		t.Fatal(err)
 	}
 	rnd := base
-	rnd.PathSelect = PathSelectRandom
+	rnd.PathSelect = SelectRandom()
 	b, err := Run(rnd)
 	if err != nil {
 		t.Fatal(err)

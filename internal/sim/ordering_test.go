@@ -20,7 +20,7 @@ func TestInOrderWithPinnedVLAndPath(t *testing.T) {
 			OfferedLoad: 0.7,
 			DataVLs:     4,
 			VLSelect:    VLByDLID,
-			PathSelect:  PathSelectRank,
+			PathSelect:  SelectRank(),
 			WarmupNs:    20_000,
 			MeasureNs:   100_000,
 			Seed:        3,
@@ -46,7 +46,7 @@ func TestRandomPathSelectionReorders(t *testing.T) {
 		Subnet:      sn,
 		Pattern:     traffic.Centric{Nodes: sn.Tree.Nodes(), Hotspot: 0, Fraction: 0.5},
 		OfferedLoad: 0.5,
-		PathSelect:  PathSelectRandom,
+		PathSelect:  SelectRandom(),
 		VLSelect:    VLByDLID,
 		WarmupNs:    20_000,
 		MeasureNs:   150_000,
@@ -69,7 +69,7 @@ func TestRankSelectionStaysInOrderUnderHotspot(t *testing.T) {
 		Subnet:      sn,
 		Pattern:     traffic.Centric{Nodes: sn.Tree.Nodes(), Hotspot: 0, Fraction: 0.5},
 		OfferedLoad: 0.5,
-		PathSelect:  PathSelectRank,
+		PathSelect:  SelectRank(),
 		VLSelect:    VLByDLID,
 		WarmupNs:    20_000,
 		MeasureNs:   150_000,

@@ -61,6 +61,38 @@ func shardMatrixCases(t *testing.T) []struct {
 			VerifyEpochs: true,
 			Transport:    &TransportConfig{MaxRetries: 2, DrainNs: 120_000},
 		}},
+		// The pluggable selectors: flowspray's per-flow pins live in the
+		// shared selState array (written only by the owning lane), adaptive
+		// reads the congestion view of the source's leaf-switch ports
+		// (mutated only on that same lane), and pktspray keys its rotation
+		// on the lane-local flow sequence — each must reproduce the
+		// single-engine result at every shard count.
+		{"flowspray", Config{
+			Subnet: mlid82, Pattern: traffic.Uniform{Nodes: mlid82.Tree.Nodes()},
+			DataVLs: 2, OfferedLoad: 0.5, WarmupNs: 10_000, MeasureNs: 40_000,
+			PathSelect: SelectFlowSpray(), Seed: 23,
+		}},
+		{"adaptive-faults", Config{
+			Subnet: mlid82, Pattern: traffic.Centric{Nodes: mlid82.Tree.Nodes(), Hotspot: 5, Fraction: 0.4},
+			DataVLs: 2, OfferedLoad: 0.5, WarmupNs: 10_000, MeasureNs: 40_000,
+			SeriesIntervalNs: 10_000, PathSelect: SelectAdaptive(), Seed: 29,
+			FaultPlan: &FaultPlan{
+				Faults:   []LinkFault{{Switch: 4, Port: 4, DownNs: 15_000, UpNs: 35_000}},
+				Reselect: true,
+			},
+			VerifyEpochs: true,
+		}},
+		{"pktspray-transport-fault", Config{
+			Subnet: mlid82, Pattern: traffic.Uniform{Nodes: mlid82.Tree.Nodes()},
+			DataVLs: 2, OfferedLoad: 0.5, WarmupNs: 5_000, MeasureNs: 25_000,
+			PathSelect: SelectPktSpray(), Seed: 31,
+			FaultPlan: &FaultPlan{
+				Faults:   []LinkFault{{Switch: 2, Port: 0, DownNs: 8_000, UpNs: 20_000}},
+				Reselect: true,
+			},
+			VerifyEpochs: true,
+			Transport:    &TransportConfig{MaxRetries: 2, DrainNs: 120_000},
+		}},
 	}
 }
 

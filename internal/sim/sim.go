@@ -177,6 +177,19 @@ type Sim struct {
 
 	nodes []nodeState
 
+	// selector is the resolved path-selection policy (Config.PathSelect,
+	// rank when nil); selState is the per-(src,dst) flow-state array
+	// stateful selectors pin choices in (flowspray's pin, adaptive's current
+	// path), allocated only when the selector needs it. Entry (src,dst) is
+	// touched only by events on src's lane, so the array — shared by a
+	// sharded run's lanes like cv — stays race-free and deterministic.
+	// selCtx is the reused per-call context: selectors receive *SelectContext
+	// through an interface, and a stack-local would escape to the heap on
+	// every packet.
+	selector Selector
+	selState []uint32
+	selCtx   SelectContext
+
 	serPkt Time    // serialization time of a full packet
 	ia     float64 // per-node open-loop interarrival in ns
 	end    Time    // generation/measurement horizon
@@ -532,6 +545,14 @@ func build(cfg Config) *Sim {
 		s.flowSeq = make([]uint32, n*n)
 		s.flowHigh = make([]uint32, n*n)
 	}
+	s.selector = cfg.PathSelect
+	if s.selector == nil {
+		s.selector = SelectRank()
+	}
+	if s.selector.NeedsFlowState() {
+		// validate capped stateful selectors at 4096 nodes.
+		s.selState = make([]uint32, N*N)
+	}
 	if cfg.Transport != nil {
 		n := t.Nodes()
 		s.transport = &transportRun{
@@ -689,7 +710,15 @@ func (s *Sim) freePkt(p *pkt) {
 func (s *Sim) generate(node int32) {
 	n := &s.nodes[node]
 	dst := s.cfg.Pattern.Dest(int(node), n.rng)
-	dlid := s.selectDLID(n, topology.NodeID(node), topology.NodeID(dst))
+	// The packet's flow sequence number is chosen before path selection so
+	// per-packet selectors (pktspray) can key their rotation on it.
+	var seq uint32
+	if s.flowSeq != nil {
+		seq = s.flowSeq[int(node)*s.tree.Nodes()+dst] + 1
+	} else {
+		seq = uint32(n.genCount)
+	}
+	dlid := s.selectDLID(n, topology.NodeID(node), topology.NodeID(dst), seq)
 	s.totalGenerated++
 	if s.now >= s.cfg.WarmupNs && s.now < s.end {
 		s.generatedWindow++
@@ -713,9 +742,8 @@ func (s *Sim) generate(node int32) {
 		GenTime: s.now,
 	}
 	if s.flowSeq != nil {
-		idx := int(node)*s.tree.Nodes() + dst
-		s.flowSeq[idx]++
-		p.flowSeq = s.flowSeq[idx]
+		s.flowSeq[int(node)*s.tree.Nodes()+dst] = seq
+		p.flowSeq = seq
 	}
 	if len(s.traces) < s.cfg.TracePackets {
 		p.trace = &PacketTrace{
@@ -747,24 +775,77 @@ func genTimeAt(phase, ia float64, k int64) Time {
 }
 
 // selectDLID applies the configured path-selection policy for one packet.
-func (s *Sim) selectDLID(n *nodeState, src, dst topology.NodeID) ib.LID {
-	if s.cfg.DLIDFunc != nil {
-		return s.cfg.DLIDFunc(src, dst)
+// Composition order is fixed: fault-avoiding reselection (FaultPlan.Reselect)
+// first filters the destination's LID offsets down to those naming surviving
+// paths, then the selector — or Config.DLIDFunc — chooses within the
+// survivors. seq is the packet's sequence number within its (src, dst) flow.
+func (s *Sim) selectDLID(n *nodeState, src, dst topology.NodeID, seq uint32) ib.LID {
+	r := s.cfg.Subnet.Endports[dst]
+	count := r.Count()
+	if count > 64 {
+		count = 64 // the usable mask tracks at most 64 offsets
 	}
+	fullMask := ^uint64(0) >> uint(64-count)
+	mask := fullMask
 	if s.reselectActive() {
-		if lid, ok := s.reselect(n, src, dst); ok {
-			return lid
+		if m := s.usableMask(src, dst); m != 0 {
+			// A zero mask (every tracked path dead) keeps the full mask:
+			// selection proceeds normally and the packet documents the
+			// outage by dropping at the dead link.
+			mask = m
 		}
 	}
-	if s.cfg.PathSelect == PathSelectRandom {
-		r := s.cfg.Subnet.Endports[dst]
-		dlid := r.Base
-		if r.Count() > 1 {
-			dlid += ib.LID(n.rng.Intn(r.Count()))
-		}
+	if s.cfg.DLIDFunc != nil {
+		return s.applyDLIDFunc(src, dst, r.Base, count, mask, fullMask)
+	}
+	canonical := int(s.cfg.Subnet.DLID(src, dst)) - int(r.Base)
+	if canonical < 0 || canonical >= count {
+		canonical = 0
+	}
+	c := &s.selCtx
+	*c = SelectContext{
+		Src: src, Dst: dst, Seq: seq, RNG: n.rng,
+		Base: r.Base, Count: count, Mask: mask, Full: mask == fullMask,
+		Canonical: canonical,
+		View: CongestionView{
+			s:       s,
+			fwdBase: int(s.ports[s.nodePid(int32(src))].destSw)*s.lftSize + int(r.Base),
+			dataVLs: s.cfg.DataVLs,
+			maxCred: s.cfg.DataVLs * s.cfg.BufPackets,
+		},
+	}
+	if s.selState != nil {
+		c.state = &s.selState[int(src)*s.tree.Nodes()+int(dst)]
+	}
+	off, rerouted := s.selector.Select(c)
+	if rerouted {
+		s.noteReroute()
+	}
+	return r.Base + ib.LID(off)
+}
+
+// applyDLIDFunc routes a custom path plan (Config.DLIDFunc) through fault
+// reselection: when the plan's choice names a path the usable mask marks
+// dead, the nearest surviving offset (cyclic scan, as in rank failover)
+// substitutes and counts as a reroute. Choices outside the tracked offset
+// range pass through untouched.
+func (s *Sim) applyDLIDFunc(src, dst topology.NodeID, base ib.LID, count int, mask, fullMask uint64) ib.LID {
+	dlid := s.cfg.DLIDFunc(src, dst)
+	if mask == fullMask {
 		return dlid
 	}
-	return s.cfg.Subnet.DLID(src, dst)
+	off := int(dlid) - int(base)
+	if off < 0 || off >= count || mask&(1<<uint(off)) != 0 {
+		return dlid
+	}
+	for i := 1; i < count; i++ {
+		o := (off + i) % count
+		if mask&(1<<uint(o)) != 0 {
+			s.noteReroute()
+			return base + ib.LID(o)
+		}
+	}
+	return dlid
 }
 
 // swArrive handles a packet head reaching a switch input port: after the

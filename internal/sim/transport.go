@@ -364,7 +364,10 @@ func (s *Sim) retransmit(idx int32, tp *txPkt) {
 	nodes := int32(s.tree.Nodes())
 	src, dst := idx/nodes, idx%nodes
 	n := &s.nodes[src]
-	dlid := s.selectDLID(n, topology.NodeID(src), topology.NodeID(dst))
+	// The retry carries its original flow sequence number into selection: a
+	// spraying selector re-derives the same offset unless the fault mask
+	// shrank, in which case the rotation shifts the retry onto a survivor.
+	dlid := s.selectDLID(n, topology.NodeID(src), topology.NodeID(dst), tp.seq)
 	var vl int
 	if s.cfg.VLSelect == VLByDLID {
 		vl = int(dlid) % s.cfg.DataVLs
@@ -451,7 +454,9 @@ func (s *Sim) rxAccept(node int32, p *pkt) bool {
 func (s *Sim) sendCtrl(from, to int32, kind uint8, cum, sack uint32) {
 	t := s.transport
 	n := &s.nodes[from]
-	dlid := s.selectDLID(n, topology.NodeID(from), topology.NodeID(to))
+	// Control packets key spraying rotation on the cumulative watermark:
+	// it advances with the flow, is deterministic, and needs no extra state.
+	dlid := s.selectDLID(n, topology.NodeID(from), topology.NodeID(to), cum)
 	p := s.newPkt()
 	p.Packet = ib.Packet{
 		SLID:    s.cfg.Subnet.Endports[from].Base,

@@ -21,11 +21,12 @@ func (m MultiHotspot) Name() string {
 	return fmt.Sprintf("hotspot%dx%.0f%%", len(m.Hotspots), m.Fraction*100)
 }
 
-// Dest implements Pattern.
+// Dest implements Pattern. A source that is itself a hotspot draws among the
+// remaining hotspots, so every source realizes the configured Fraction toward
+// the hotspot set (src being the only hotspot is the sole exception).
 func (m MultiHotspot) Dest(src int, rng *rand.Rand) int {
 	if len(m.Hotspots) > 0 && rng.Float64() < m.Fraction {
-		d := m.Hotspots[rng.Intn(len(m.Hotspots))]
-		if d != src {
+		if d, ok := m.drawHotspot(src, rng); ok {
 			return d
 		}
 	}
@@ -38,6 +39,29 @@ func (m MultiHotspot) Dest(src int, rng *rand.Rand) int {
 			return d
 		}
 	}
+}
+
+// drawHotspot draws uniformly over the hotspot set excluding src; ok=false
+// when src is the only hotspot.
+func (m MultiHotspot) drawHotspot(src int, rng *rand.Rand) (int, bool) {
+	self := -1
+	for i, h := range m.Hotspots {
+		if h == src {
+			self = i
+			break
+		}
+	}
+	if self < 0 {
+		return m.Hotspots[rng.Intn(len(m.Hotspots))], true
+	}
+	if len(m.Hotspots) == 1 {
+		return 0, false
+	}
+	i := rng.Intn(len(m.Hotspots) - 1)
+	if i >= self {
+		i++
+	}
+	return m.Hotspots[i], true
 }
 
 // Local draws destinations with a bias toward nearby nodes: with probability
@@ -53,15 +77,22 @@ type Local struct {
 // Name implements Pattern.
 func (l Local) Name() string { return fmt.Sprintf("local%.0f%%", l.Locality*100) }
 
-// Dest implements Pattern.
+// Dest implements Pattern. The biased draw covers only the leaf block's
+// valid nodes, so a partial last leaf (Nodes not a multiple of LeafSize)
+// still realizes the configured Locality; a source alone on its leaf falls
+// back to uniform.
 func (l Local) Dest(src int, rng *rand.Rand) int {
 	if l.LeafSize > 1 && rng.Float64() < l.Locality {
 		base := src - src%l.LeafSize
-		d := base + rng.Intn(l.LeafSize-1)
-		if d >= src {
-			d++
+		end := base + l.LeafSize
+		if end > l.Nodes {
+			end = l.Nodes
 		}
-		if d < l.Nodes && d != src {
+		if peers := end - base - 1; peers > 0 {
+			d := base + rng.Intn(peers)
+			if d >= src {
+				d++
+			}
 			return d
 		}
 	}

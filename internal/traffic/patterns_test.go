@@ -56,6 +56,37 @@ func TestMultiHotspotSelfHotspot(t *testing.T) {
 	}
 }
 
+// TestMultiHotspotMemberFraction pins the realized hotspot fraction for a
+// source that is itself a hotspot: the draw must redirect to the remaining
+// hotspots instead of falling through to uniform (which diluted the
+// configured fraction for hotspot members).
+func TestMultiHotspotMemberFraction(t *testing.T) {
+	m := MultiHotspot{Nodes: 32, Hotspots: []int{3, 9, 20}, Fraction: 0.6}
+	rng := rand.New(rand.NewSource(6))
+	hits := map[int]int{}
+	total := 60000
+	for i := 0; i < total; i++ {
+		d := m.Dest(3, rng) // src 3 is a hotspot
+		if d == 3 || d < 0 || d >= 32 {
+			t.Fatalf("Dest(3) = %d", d)
+		}
+		hits[d]++
+	}
+	hot := hits[9] + hits[20]
+	frac := float64(hot) / float64(total)
+	// 0.6 direct (split over the two other hotspots) + uniform residue
+	// 0.4 * 2/31. Tolerance 0.02 ≫ 3σ of the binomial at 60k draws — the
+	// pre-fix fallthrough realized ≈0.43 here and fails decisively.
+	want := 0.6 + 0.4*2.0/31.0
+	if math.Abs(frac-want) > 0.02 {
+		t.Errorf("hotspot-member realized fraction %.3f, want %.3f", frac, want)
+	}
+	// The redraw spreads evenly over the remaining hotspots.
+	if diff := hits[9] - hits[20]; diff < -2000 || diff > 2000 {
+		t.Errorf("remaining hotspots imbalanced: %d vs %d", hits[9], hits[20])
+	}
+}
+
 func TestLocalPattern(t *testing.T) {
 	l := Local{Nodes: 32, LeafSize: 4, Locality: 0.8}
 	rng := rand.New(rand.NewSource(4))
@@ -77,6 +108,44 @@ func TestLocalPattern(t *testing.T) {
 	}
 	if l.Name() != "local80%" {
 		t.Errorf("Name = %q", l.Name())
+	}
+}
+
+// TestLocalPartialLeaf pins the realized locality when Nodes is not a
+// multiple of LeafSize: sources on the truncated last leaf must draw within
+// the valid leaf block instead of silently falling back to uniform.
+func TestLocalPartialLeaf(t *testing.T) {
+	// Last leaf block is [8, 10): two nodes, one in-leaf peer each.
+	l := Local{Nodes: 10, LeafSize: 4, Locality: 0.8}
+	rng := rand.New(rand.NewSource(7))
+	local, total := 0, 40000
+	for i := 0; i < total; i++ {
+		d := l.Dest(9, rng)
+		if d == 9 || d < 0 || d >= 10 {
+			t.Fatalf("Dest(9) = %d", d)
+		}
+		if d == 8 {
+			local++
+		}
+	}
+	frac := float64(local) / float64(total)
+	// 0.8 direct to the single valid peer + uniform residue 0.2 * 1/9. The
+	// pre-fix fallback realized ≈0.31 (the biased draw survived only when it
+	// happened to land on node 8 before the d >= Nodes check).
+	want := 0.8 + 0.2/9.0
+	if math.Abs(frac-want) > 0.02 {
+		t.Errorf("partial-leaf locality %.3f, want %.3f", frac, want)
+	}
+	// A full leaf keeps its exact locality too.
+	localFull := 0
+	for i := 0; i < total; i++ {
+		if d := l.Dest(1, rng); d/4 == 0 {
+			localFull++
+		}
+	}
+	fullFrac := float64(localFull) / float64(total)
+	if wantFull := 0.8 + 0.2*3.0/9.0; math.Abs(fullFrac-wantFull) > 0.02 {
+		t.Errorf("full-leaf locality %.3f, want %.3f", fullFrac, wantFull)
 	}
 }
 

@@ -259,8 +259,14 @@ type (
 	SimResult = sim.Result
 	// ReceptionModel selects how destinations consume packets.
 	ReceptionModel = sim.ReceptionModel
-	// PathSelectPolicy selects the source-side multipath policy.
-	PathSelectPolicy = sim.PathSelectPolicy
+	// Selector is the pluggable source-side path-selection policy
+	// (SimConfig.PathSelect); see SelectorByName for the built-in family.
+	Selector = sim.Selector
+	// SelectContext is the per-packet input a Selector chooses from.
+	SelectContext = sim.SelectContext
+	// CongestionView is the first-hop port occupancy/credit window a
+	// Selector may consult.
+	CongestionView = sim.CongestionView
 	// VLPolicy selects the source-side virtual-lane mapping.
 	VLPolicy = sim.VLPolicy
 	// SwitchingMode selects the switch forwarding discipline.
@@ -276,13 +282,29 @@ const (
 	ReceptionLink = sim.ReceptionLink
 )
 
-// Path-selection policies.
-const (
-	// PathSelectRank is the paper's rank-based selection (default).
-	PathSelectRank = sim.PathSelectRank
-	// PathSelectRandom draws a random LID offset per packet (ablation).
-	PathSelectRandom = sim.PathSelectRandom
-)
+// Path-selection policies (SimConfig.PathSelect; nil defaults to SelectRank).
+
+// SelectRank is the paper's rank-based selection (default).
+func SelectRank() Selector { return sim.SelectRank() }
+
+// SelectRandom draws a random usable LID offset per packet (ablation).
+func SelectRandom() Selector { return sim.SelectRandom() }
+
+// SelectFlowSpray pins each flow to one randomly drawn LID at flow start.
+func SelectFlowSpray() Selector { return sim.SelectFlowSpray() }
+
+// SelectAdaptive picks the least-occupied upward LID with hysteresis.
+func SelectAdaptive() Selector { return sim.SelectAdaptive() }
+
+// SelectPktSpray sprays every packet round-robin over the usable LIDs.
+func SelectPktSpray() Selector { return sim.SelectPktSpray() }
+
+// SelectorByName resolves "rank", "random", "flowspray", "adaptive" or
+// "pktspray".
+func SelectorByName(name string) (Selector, error) { return sim.SelectorByName(name) }
+
+// SelectorNames lists the built-in selectors, sorted.
+func SelectorNames() []string { return sim.SelectorNames() }
 
 // Virtual-lane mapping policies.
 const (
@@ -444,6 +466,36 @@ func FormatChaos(rows []EvalChaosRow) string { return experiment.FormatChaos(row
 
 // ChaosCSV renders chaos rows in long form.
 func ChaosCSV(rows []EvalChaosRow) string { return experiment.ChaosCSV(rows) }
+
+// Path-selection family study types: every pluggable selector (SelectRank,
+// SelectRandom, SelectFlowSpray, SelectAdaptive, SelectPktSpray) over the
+// same MLID fabric on policy-separating workloads, with an optional
+// degraded-fabric axis (see SimConfig.PathSelect and EXPERIMENTS.md).
+type (
+	// EvalAdaptiveSpec configures the path-selection family study.
+	EvalAdaptiveSpec = experiment.AdaptiveSpec
+	// EvalAdaptiveRow is one (workload, selector, faulted?) measurement.
+	EvalAdaptiveRow = experiment.AdaptiveRow
+)
+
+// EvalAdaptiveSpecDefault returns the full-fidelity family study spec.
+func EvalAdaptiveSpecDefault() EvalAdaptiveSpec { return experiment.AdaptiveStudySpec() }
+
+// EvalAdaptiveSpecQuick returns the reduced-cost family study spec.
+func EvalAdaptiveSpecQuick() EvalAdaptiveSpec { return experiment.QuickAdaptiveSpec() }
+
+// EvalAdaptiveStudy runs the family study: every selector of a (workload,
+// variant) block sees the identical subnet, traffic, seed, and fault
+// schedule, and the runner asserts packet conservation for every run.
+func EvalAdaptiveStudy(spec EvalAdaptiveSpec) ([]EvalAdaptiveRow, error) {
+	return experiment.AdaptiveStudy(spec)
+}
+
+// FormatAdaptive renders family-study rows as a markdown table.
+func FormatAdaptive(rows []EvalAdaptiveRow) string { return experiment.FormatAdaptive(rows) }
+
+// AdaptiveCSV renders family-study rows in long form.
+func AdaptiveCSV(rows []EvalAdaptiveRow) string { return experiment.AdaptiveCSV(rows) }
 
 // Degraded-fabric quality study types: at each fault rate a seeded link
 // sample fails, and the study records both the static ibverify quality view
