@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test ci bench bench-json bench-engine vet lint lint-fix race soak shard-smoke verify-smoke adaptive-smoke
+.PHONY: build test ci bench bench-json bench-engine vet lint lint-fix race soak shard-smoke verify-smoke adaptive-smoke sm-smoke
 
 build:
 	$(GO) build ./...
@@ -76,10 +76,20 @@ verify-smoke:
 adaptive-smoke:
 	$(GO) run ./cmd/ibsweep -adaptive -quick
 
+# sm-smoke exercises the in-band subnet-management model: the regression
+# suite (lost-trap edge, sweep-only recovery, failover determinism across
+# shard counts on both scheduler paths, exact oracle equivalence when the
+# feature is off), then the reduced FT(4,2) campaign, whose invariants —
+# exact packet conservation, one failover per in-band run, sweep-recovered
+# trap loss — are asserted inside every run.
+sm-smoke:
+	$(GO) test -run 'TestInBandSM' -count=1 ./internal/sim/
+	$(GO) run ./cmd/ibsweep -smstudy -quick
+
 # ci is the gate for every change: tier-1 tests plus vet, ibvet, the race
 # pass, the chaos soak, the shard-determinism smoke, the static verification
-# smoke and the path-selection family smoke.
-ci: build vet lint test race soak shard-smoke verify-smoke adaptive-smoke
+# smoke, the path-selection family smoke and the in-band SM smoke.
+ci: build vet lint test race soak shard-smoke verify-smoke adaptive-smoke sm-smoke
 
 # BENCH_TIME / BENCH_COUNT tune the figure benchmarks: the committed defaults
 # (one iteration, run once) keep `make ci` cheap, but single-iteration numbers

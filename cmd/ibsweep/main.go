@@ -15,6 +15,9 @@
 //	ibsweep -degraded -quick -csv out/  # reduced study, CSV to out/degraded.csv
 //	ibsweep -adaptive               # path-selection family study (rank/random/flowspray/adaptive/pktspray)
 //	ibsweep -adaptive -quick -csv out/  # reduced study, CSV to out/adaptive.csv
+//	ibsweep -smstudy                # in-band subnet management: oracle vs lossy traps/SMPs, failover, degradation
+//	ibsweep -smstudy -quick -csv out/   # reduced study, CSV to out/sm.csv (+ sm_series.csv with -series)
+//	ibsweep -fault -series -csv out/    # also write per-interval recovery-tail curves
 //
 // Full-fidelity sweeps of the two 128-node networks take a few minutes and
 // the 512-node network longer; -quick cuts the load points and windows while
@@ -41,6 +44,8 @@ func main() {
 		chaos    = flag.Bool("chaos", false, "run the seeded chaos campaign: link flaps and switch kills with the reliable transport, SLID vs MLID")
 		degraded = flag.Bool("degraded", false, "run the degraded-fabric quality study: static verifier predictions vs simulated throughput across fault rates, SLID vs MLID")
 		adaptive = flag.Bool("adaptive", false, "run the path-selection family study: every pluggable selector on policy-separating workloads over the MLID fabric, with a degraded-fabric axis")
+		smstudy  = flag.Bool("smstudy", false, "run the in-band subnet-management study: oracle vs in-band SM across trap-loss rates and routing schemes, with a master-SM outage forcing standby failover")
+		series   = flag.Bool("series", false, "with -fault or -smstudy and -csv, also write the per-interval recovery-tail curves (delivered/dropped/retransmits/failed/unreachable per bin)")
 		quick    = flag.Bool("quick", false, "reduced load points and windows")
 		shards   = flag.Int("shards", 0, "parallel shards per simulation run; 0 = min(GOMAXPROCS, leaf groups) per network, 1 = the single-engine path; results are identical for every value")
 		chart    = flag.Bool("chart", false, "render ASCII charts to stdout")
@@ -90,6 +95,11 @@ func main() {
 			path := filepath.Join(*csvDir, "recovery.csv")
 			fatal(os.WriteFile(path, []byte(mlid.RecoveryCSV(rows)), 0o644))
 			fmt.Printf("wrote %s\n", path)
+			if *series {
+				path := filepath.Join(*csvDir, "recovery_series.csv")
+				fatal(os.WriteFile(path, []byte(mlid.RecoverySeriesCSV(rows)), 0o644))
+				fmt.Printf("wrote %s\n", path)
+			}
 		}
 		fmt.Println()
 	}
@@ -152,8 +162,33 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if *smstudy {
+		spec := mlid.EvalSMSpecDefault()
+		if *quick {
+			spec = mlid.EvalSMSpecQuick()
+		}
+		spec.Shards = *shards
+		fmt.Printf("in-band subnet management: %s, trap-loss rates %v, sweep every %d ns, master-SM outage %d-%d ns, seed %d\n",
+			spec.Network, spec.TrapLossProbs, spec.SweepIntervalNs, spec.SMDownNs, spec.SMUpNs, spec.Seed)
+		rows, err := mlid.EvalSMStudy(spec)
+		fatal(err)
+		fmt.Print(mlid.FormatSM(rows))
+		fmt.Println("invariants: packet conservation exact on every run; each in-band run lost traps, recovered them by sweep, and failed over to the standby SM exactly once")
+		if *csvDir != "" {
+			fatal(os.MkdirAll(*csvDir, 0o755))
+			path := filepath.Join(*csvDir, "sm.csv")
+			fatal(os.WriteFile(path, []byte(mlid.SMCSV(rows)), 0o644))
+			fmt.Printf("wrote %s\n", path)
+			if *series {
+				path := filepath.Join(*csvDir, "sm_series.csv")
+				fatal(os.WriteFile(path, []byte(mlid.SMSeriesCSV(rows)), 0o644))
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+		fmt.Println()
+	}
 	if *fig == "" {
-		if !*table1 && !*fault && !*chaos && !*degraded && !*adaptive {
+		if !*table1 && !*fault && !*chaos && !*degraded && !*adaptive && !*smstudy {
 			flag.Usage()
 			os.Exit(2)
 		}

@@ -35,6 +35,13 @@ func (f *FaultSet) FailLink(t *topology.Tree, sw topology.SwitchID, port int) {
 // Len returns the number of registered failed endpoints.
 func (f *FaultSet) Len() int { return len(f.dead) }
 
+// Dead reports whether the endpoint at (switch, abstract port) is registered
+// as failed. FailLink registers both switch-side endpoints of a link, so
+// querying either side of an inter-switch link answers the same.
+func (f *FaultSet) Dead(sw topology.SwitchID, port int) bool {
+	return f.dead[linkEnd{sw, port}]
+}
+
 // Blocked reports whether the path crosses a failed link.
 func (f *FaultSet) Blocked(p Path) bool {
 	for _, h := range p.Hops {

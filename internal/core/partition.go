@@ -1,0 +1,114 @@
+package core
+
+import (
+	"mlid/internal/topology"
+)
+
+// PartitionFinding is the typed partition report a subnet manager emits when
+// repair cannot restore reachability: the fabric's live connected components
+// and which node pairs no forwarding table, however repaired, can serve. It
+// is a pure function of the topology and a fault set, so both the in-band SM
+// model (which evaluates its possibly-stale knowledge) and offline analyses
+// (ground truth) produce one.
+type PartitionFinding struct {
+	// Components is the number of connected components the live inter-switch
+	// links leave among switches that host reachable nodes; 1 means the node
+	// population is mutually reachable (severed nodes aside).
+	Components int
+	// Severed counts nodes whose attachment link is dead: they are in no
+	// component and can reach nothing.
+	Severed int
+	// UnreachablePairs counts ordered (src, dst) pairs of distinct nodes no
+	// route can serve: pairs in different components plus every pair
+	// involving a severed node.
+	UnreachablePairs int
+
+	// compOf maps each node to its component id (renumbered in node order),
+	// -1 for severed nodes.
+	compOf []int32
+}
+
+// Partitioned reports whether any node pair is unreachable.
+func (p *PartitionFinding) Partitioned() bool { return p.UnreachablePairs > 0 }
+
+// Reachable reports whether some live path can serve (src, dst). A node is
+// trivially reachable from itself unless its attachment is severed.
+func (p *PartitionFinding) Reachable(src, dst topology.NodeID) bool {
+	a, b := p.compOf[src], p.compOf[dst]
+	return a >= 0 && a == b
+}
+
+// DetectPartitions computes the fabric's connected components under a fault
+// set: a breadth-first search over switches along live inter-switch links
+// (visiting switches and ports in ascending order, so component ids are
+// deterministic), then node membership via each node's attachment link.
+// FailLink registers both endpoints of a link, so probing the out-end of
+// each directed hop suffices.
+func DetectPartitions(t *topology.Tree, fs *FaultSet) PartitionFinding {
+	S := t.Switches()
+	swComp := make([]int32, S)
+	for i := range swComp {
+		swComp[i] = -1
+	}
+	var queue []topology.SwitchID
+	nComp := int32(0)
+	for seed := 0; seed < S; seed++ {
+		if swComp[seed] >= 0 {
+			continue
+		}
+		comp := nComp
+		nComp++
+		swComp[seed] = comp
+		queue = append(queue[:0], topology.SwitchID(seed))
+		for len(queue) > 0 {
+			sw := queue[0]
+			queue = queue[1:]
+			for port := 0; port < t.M(); port++ {
+				if fs != nil && fs.Dead(sw, port) {
+					continue
+				}
+				ref := t.SwitchNeighbor(sw, port)
+				if ref.Kind != topology.KindSwitch || swComp[ref.Switch] >= 0 {
+					continue
+				}
+				swComp[ref.Switch] = comp
+				queue = append(queue, ref.Switch)
+			}
+		}
+	}
+
+	n := t.Nodes()
+	p := PartitionFinding{compOf: make([]int32, n)}
+	// Renumber components in first-node-appearance order so the finding is
+	// independent of the switch-level BFS seeding.
+	renum := make([]int32, nComp)
+	for i := range renum {
+		renum[i] = -1
+	}
+	sizes := make([]int64, 0, 4)
+	for node := 0; node < n; node++ {
+		sw, port := t.NodeAttachment(topology.NodeID(node))
+		if fs != nil && fs.Dead(sw, port) {
+			p.compOf[node] = -1
+			p.Severed++
+			continue
+		}
+		c := swComp[sw]
+		if renum[c] < 0 {
+			renum[c] = int32(len(sizes))
+			sizes = append(sizes, 0)
+		}
+		p.compOf[node] = renum[c]
+		sizes[renum[c]]++
+	}
+	p.Components = len(sizes)
+	// Reachable ordered pairs are those within one component; everything
+	// else — cross-component pairs and any pair touching a severed node —
+	// is unreachable.
+	reachable := int64(0)
+	for _, sz := range sizes {
+		reachable += sz * (sz - 1)
+	}
+	p.UnreachablePairs = int(int64(n)*int64(n-1) - reachable)
+	return p
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"mlid/internal/topology"
+)
+
+func TestDetectPartitionsHealthy(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+	p := DetectPartitions(tr, nil)
+	if p.Components != 1 || p.Severed != 0 || p.UnreachablePairs != 0 || p.Partitioned() {
+		t.Fatalf("healthy fabric: %+v", p)
+	}
+	if !p.Reachable(0, topology.NodeID(tr.Nodes()-1)) {
+		t.Fatal("healthy fabric: pair unreachable")
+	}
+}
+
+func TestDetectPartitionsSeveredNode(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+	n := tr.Nodes()
+	sw, port := tr.NodeAttachment(3)
+	fs := NewFaultSet()
+	fs.FailLink(tr, sw, port)
+	p := DetectPartitions(tr, fs)
+	if p.Components != 1 || p.Severed != 1 {
+		t.Fatalf("severed attach: %+v", p)
+	}
+	// Every ordered pair touching node 3 is unreachable: 2*(n-1).
+	if want := 2 * (n - 1); p.UnreachablePairs != want {
+		t.Fatalf("UnreachablePairs = %d, want %d", p.UnreachablePairs, want)
+	}
+	if p.Reachable(0, 3) || p.Reachable(3, 0) || p.Reachable(3, 3) {
+		t.Fatal("severed node must be unreachable, even from itself")
+	}
+	if !p.Reachable(0, 1) {
+		t.Fatal("unaffected pair must stay reachable")
+	}
+}
+
+func TestDetectPartitionsIsolatedLeaf(t *testing.T) {
+	tr := topology.MustNew(4, 2)
+	n := tr.Nodes()
+	// Kill every ascending link of node 0's leaf: its nodes become their own
+	// component, still attached but cut off from the rest.
+	leaf, _ := tr.NodeAttachment(0)
+	fs := NewFaultSet()
+	for port := tr.DownPorts(leaf); port < tr.M(); port++ {
+		fs.FailLink(tr, leaf, port)
+	}
+	p := DetectPartitions(tr, fs)
+	if p.Components != 2 || p.Severed != 0 {
+		t.Fatalf("isolated leaf: %+v", p)
+	}
+	// The leaf holds h nodes; unreachable ordered pairs cross the cut both
+	// ways.
+	var leafNodes int
+	for node := 0; node < n; node++ {
+		if sw, _ := tr.NodeAttachment(topology.NodeID(node)); sw == leaf {
+			leafNodes++
+		}
+	}
+	if want := 2 * leafNodes * (n - leafNodes); p.UnreachablePairs != want {
+		t.Fatalf("UnreachablePairs = %d, want %d", p.UnreachablePairs, want)
+	}
+	if !p.Reachable(0, 1) {
+		t.Fatal("nodes on the isolated leaf must still reach each other")
+	}
+	if p.Reachable(0, topology.NodeID(n-1)) {
+		t.Fatal("pair across the cut must be unreachable")
+	}
+}

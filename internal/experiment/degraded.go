@@ -36,6 +36,13 @@ type DegradedSpec struct {
 	// 0.01..0.10. Each rate draws its own seeded sample; both schemes see
 	// the identical sample.
 	Rates []float64
+	// SwitchOuts are whole-switch outage counts — the second axis of the
+	// study. Each count draws a seeded sample of non-leaf switches (leaves
+	// never fail: the study degrades the interior, not the endpoints) and
+	// takes every one of their links down before warmup; the dynamic view
+	// reuses FaultPlan.SwitchFaults, so its whole-switch validation and
+	// atomic down semantics apply.
+	SwitchOuts []int
 	// DataVLs is the virtual-lane count for both views.
 	DataVLs int
 	// OfferedLoad is the per-node injection rate of the dynamic view.
@@ -55,6 +62,7 @@ func DegradedStudySpec() DegradedSpec {
 	return DegradedSpec{
 		Network:     Network{8, 3},
 		Rates:       []float64{0.01, 0.02, 0.04, 0.06, 0.08, 0.10},
+		SwitchOuts:  []int{1, 2, 4},
 		DataVLs:     2,
 		OfferedLoad: 0.3,
 		FaultNs:     2_000, WarmupNs: 50_000, MeasureNs: 200_000,
@@ -67,6 +75,7 @@ func QuickDegradedSpec() DegradedSpec {
 	return DegradedSpec{
 		Network:     Network{8, 2},
 		Rates:       []float64{0.02, 0.06, 0.10},
+		SwitchOuts:  []int{1},
 		DataVLs:     2,
 		OfferedLoad: 0.3,
 		FaultNs:     2_000, WarmupNs: 20_000, MeasureNs: 80_000,
@@ -74,11 +83,16 @@ func QuickDegradedSpec() DegradedSpec {
 	}
 }
 
-// DegradedRow is one (scheme, fault rate) outcome of the study.
+// DegradedRow is one (scheme, fault scenario) outcome of the study.
 type DegradedRow struct {
 	Scheme string
-	Rate   float64
-	// FailedLinks is the realized sample size at this rate.
+	// Axis names the fault scenario family: "links" (sampled link rate) or
+	// "switches" (whole non-leaf switch outages). Rate is set on the links
+	// axis, SwitchesOut on the switches axis.
+	Axis        string
+	Rate        float64
+	SwitchesOut int
+	// FailedLinks is the realized dead-link count of the scenario.
 	FailedLinks int
 	// Static view: the ibverify quality pass over the repaired tables.
 	// StaticMaxLoad is the per-link maximal load under all-to-all (the
@@ -145,6 +159,27 @@ func degradedSample(tr *topology.Tree, rate float64, rng *rand.Rand) [][2]int32 
 	return out
 }
 
+// degradedSwitchSample draws k distinct non-leaf switches by a seeded
+// shuffle. Leaves are excluded (killing one just unplugs its nodes), and k
+// must leave at least one switch per non-leaf level standing so the fabric
+// retains some spine capacity to study.
+func degradedSwitchSample(tr *topology.Tree, k int, rng *rand.Rand) ([]int32, error) {
+	var candidates []int32
+	for sw := 0; sw < tr.Switches(); sw++ {
+		if !tr.IsLeaf(topology.SwitchID(sw)) {
+			candidates = append(candidates, int32(sw))
+		}
+	}
+	if k < 1 || k >= len(candidates) {
+		return nil, fmt.Errorf("experiment: degraded switch-out count %d outside [1, %d)", k, len(candidates))
+	}
+	out := make([]int32, 0, k)
+	for _, i := range rng.Perm(len(candidates))[:k] {
+		out = append(out, candidates[i])
+	}
+	return out, nil
+}
+
 // DegradedStudy runs the degraded-fabric sweep for both schemes across the
 // spec's fault rates. Any error-severity verify finding on the repaired
 // tables, or any failed simulation (which includes per-epoch verification),
@@ -158,32 +193,86 @@ func DegradedStudy(spec DegradedSpec) ([]DegradedRow, error) {
 		return nil, fmt.Errorf("experiment: degraded FaultNs %d must fall inside (0, WarmupNs %d)", spec.FaultNs, spec.WarmupNs)
 	}
 	shards := ResolveShards(tr, spec.Shards)
-	rows := make([]DegradedRow, 0, 2*len(spec.Rates))
+
+	// Each scenario is one fault draw both schemes run against. The links
+	// axis samples individual inter-switch links; the switches axis takes
+	// whole non-leaf switches out, expressed to the simulator as
+	// FaultPlan.SwitchFaults so its validation and atomic-outage semantics
+	// are reused rather than re-implemented.
+	type scenario struct {
+		axis        string
+		rate        float64
+		switchesOut int
+		label       string
+		links       [][2]int32
+		plan        *sim.FaultPlan
+		seed        int64
+	}
+	scenarios := make([]scenario, 0, len(spec.Rates)+len(spec.SwitchOuts))
 	for ri, rate := range spec.Rates {
 		if rate <= 0 || rate > 1 {
 			return nil, fmt.Errorf("experiment: degraded fault rate %v out of (0, 1]", rate)
 		}
 		rng := rand.New(rand.NewSource(spec.Seed*6151 + int64(ri)))
-		links := degradedSample(tr, rate, rng)
-		fs := core.NewFaultSet()
-		plan := &sim.FaultPlan{Reselect: true}
-		for _, l := range links {
-			fs.FailLink(tr, topology.SwitchID(l[0]), int(l[1]))
-			plan.Faults = append(plan.Faults, sim.LinkFault{Switch: l[0], Port: int(l[1]), DownNs: spec.FaultNs})
+		sc := scenario{
+			axis: "links", rate: rate,
+			label: fmt.Sprintf("link rate %v", rate),
+			links: degradedSample(tr, rate, rng),
+			plan:  &sim.FaultPlan{Reselect: true},
+			seed:  spec.Seed + int64(ri),
 		}
+		for _, l := range sc.links {
+			sc.plan.Faults = append(sc.plan.Faults, sim.LinkFault{Switch: l[0], Port: int(l[1]), DownNs: spec.FaultNs})
+		}
+		scenarios = append(scenarios, sc)
+	}
+	for si, k := range spec.SwitchOuts {
+		rng := rand.New(rand.NewSource(spec.Seed*9311 + int64(si)))
+		switches, err := degradedSwitchSample(tr, k, rng)
+		if err != nil {
+			return nil, err
+		}
+		sc := scenario{
+			axis: "switches", switchesOut: k,
+			label: fmt.Sprintf("%d switch(es) out", k),
+			plan:  &sim.FaultPlan{Reselect: true},
+			seed:  spec.Seed + int64(1000+si),
+		}
+		for _, sw := range switches {
+			sc.plan.SwitchFaults = append(sc.plan.SwitchFaults, sim.SwitchFault{Switch: sw, DownNs: spec.FaultNs})
+			for port := 0; port < tr.M(); port++ {
+				if ref := tr.SwitchNeighbor(topology.SwitchID(sw), port); ref.Kind != topology.KindNone {
+					sc.links = append(sc.links, [2]int32{sw, int32(port)})
+				}
+			}
+		}
+		scenarios = append(scenarios, sc)
+	}
+
+	rows := make([]DegradedRow, 0, 2*len(scenarios))
+	for _, sc := range scenarios {
+		fs := core.NewFaultSet()
+		for _, l := range sc.links {
+			fs.FailLink(tr, topology.SwitchID(l[0]), int(l[1]))
+		}
+		rate, links, plan := sc.rate, sc.links, sc.plan
 		for _, scheme := range []core.Scheme{core.NewSLID(), core.NewMLID()} {
 			sn, err := (&ib.SubnetManager{Tree: tr, Engine: scheme}).Configure()
 			if err != nil {
 				return nil, fmt.Errorf("experiment: %s on %s: %w", scheme.Name(), spec.Network, err)
 			}
-			row := DegradedRow{Scheme: scheme.Name(), Rate: rate, FailedLinks: len(links)}
+			row := DegradedRow{
+				Scheme: scheme.Name(),
+				Axis:   sc.axis, Rate: rate, SwitchesOut: sc.switchesOut,
+				FailedLinks: len(links),
+			}
 
 			// Static view: repair a fresh configuration offline and run the
 			// verifier's quality pass over it, with fault-avoiding source
 			// selection standing in for what reselection does live.
 			_, broken, err := core.RepairSubnet(sn, fs)
 			if err != nil {
-				return nil, fmt.Errorf("experiment: degraded repair %s rate %v: %w", scheme.Name(), rate, err)
+				return nil, fmt.Errorf("experiment: degraded repair %s at %s: %w", scheme.Name(), sc.label, err)
 			}
 			row.BrokenEntries = len(broken)
 			in := verify.Input{
@@ -199,15 +288,15 @@ func DegradedStudy(spec DegradedSpec) ([]DegradedRow, error) {
 			}
 			rep, err := verify.Run(in, verify.Options{VLs: spec.DataVLs})
 			if err != nil {
-				return nil, fmt.Errorf("experiment: degraded verify %s rate %v: %w", scheme.Name(), rate, err)
+				return nil, fmt.Errorf("experiment: degraded verify %s at %s: %w", scheme.Name(), sc.label, err)
 			}
 			if n := rep.Errors(); n > 0 {
-				return nil, fmt.Errorf("experiment: degraded verify %s rate %v: %d error finding(s); first: %s",
-					scheme.Name(), rate, n, firstError(rep))
+				return nil, fmt.Errorf("experiment: degraded verify %s at %s: %d error finding(s); first: %s",
+					scheme.Name(), sc.label, n, firstError(rep))
 			}
 			row.StaticWarnings = rep.Warnings()
 			if len(rep.Stats.Quality) == 0 {
-				return nil, fmt.Errorf("experiment: degraded verify %s rate %v: no quality report", scheme.Name(), rate)
+				return nil, fmt.Errorf("experiment: degraded verify %s at %s: no quality report", scheme.Name(), sc.label)
 			}
 			q := rep.Stats.Quality[0] // the all-to-all matrix
 			row.StaticMaxLoad = q.MaxLoad
@@ -240,10 +329,10 @@ func DegradedStudy(spec DegradedSpec) ([]DegradedRow, error) {
 				FaultPlan:    plan,
 				VerifyEpochs: true,
 				Shards:       shards,
-				Seed:         spec.Seed + int64(ri),
+				Seed:         sc.seed,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("experiment: degraded run %s rate %v: %w", scheme.Name(), rate, err)
+				return nil, fmt.Errorf("experiment: degraded run %s at %s: %w", scheme.Name(), sc.label, err)
 			}
 			row.Accepted = res.Accepted
 			row.DroppedWindow = res.DroppedWindow
@@ -266,27 +355,31 @@ func firstError(rep *verify.Report) string {
 	return "(none)"
 }
 
-// DegradedOrderingConsistent checks the study's cross-validation claim: at
-// every fault rate, the static ranking of the two schemes — the
+// DegradedOrderingConsistent checks the study's cross-validation claim: in
+// every fault scenario, the static ranking of the two schemes — the
 // max-load-and-unrouted throughput bound StaticPredictedAccepted — must
 // agree with the simulated accepted-throughput ordering: the scheme the
 // analyzer predicts serves more must not deliver less. Near-ties (within
 // 2% relative) on either side are treated as agreement, since neither view
 // resolves finer than that.
 func DegradedOrderingConsistent(rows []DegradedRow) error {
-	byRate := map[float64]map[string]DegradedRow{}
+	// Scenarios are keyed by the full axis coordinate, so link-rate and
+	// switch-out rows never pair up across axes.
+	key := func(r DegradedRow) string { return fmt.Sprintf("%s|%v|%d", r.Axis, r.Rate, r.SwitchesOut) }
+	byScenario := map[string]map[string]DegradedRow{}
 	for _, r := range rows {
-		if byRate[r.Rate] == nil {
-			byRate[r.Rate] = map[string]DegradedRow{}
+		k := key(r)
+		if byScenario[k] == nil {
+			byScenario[k] = map[string]DegradedRow{}
 		}
-		byRate[r.Rate][r.Scheme] = r
+		byScenario[k][r.Scheme] = r
 	}
 	for _, r := range rows {
-		pair := byRate[r.Rate]
+		pair := byScenario[key(r)]
 		s, sOK := pair["SLID"]
 		m, mOK := pair["MLID"]
 		if !sOK || !mOK {
-			return fmt.Errorf("experiment: degraded rate %v missing a scheme", r.Rate)
+			return fmt.Errorf("experiment: degraded scenario %s missing a scheme", key(r))
 		}
 		predGap := relGap(m.StaticPredictedAccepted, s.StaticPredictedAccepted)
 		accGap := relGap(m.Accepted, s.Accepted)
@@ -296,12 +389,12 @@ func DegradedOrderingConsistent(rows []DegradedRow) error {
 		// opposite signs.
 		const tie = 0.02
 		if predGap > tie && accGap < -tie {
-			return fmt.Errorf("experiment: degraded rate %v: static predicts MLID serves more (%.4f vs %.4f) but simulation delivered less (%.4f vs %.4f)",
-				r.Rate, m.StaticPredictedAccepted, s.StaticPredictedAccepted, m.Accepted, s.Accepted)
+			return fmt.Errorf("experiment: degraded scenario %s: static predicts MLID serves more (%.4f vs %.4f) but simulation delivered less (%.4f vs %.4f)",
+				key(r), m.StaticPredictedAccepted, s.StaticPredictedAccepted, m.Accepted, s.Accepted)
 		}
 		if predGap < -tie && accGap > tie {
-			return fmt.Errorf("experiment: degraded rate %v: static predicts SLID serves more (%.4f vs %.4f) but simulation delivered less (%.4f vs %.4f)",
-				r.Rate, s.StaticPredictedAccepted, m.StaticPredictedAccepted, s.Accepted, m.Accepted)
+			return fmt.Errorf("experiment: degraded scenario %s: static predicts SLID serves more (%.4f vs %.4f) but simulation delivered less (%.4f vs %.4f)",
+				key(r), s.StaticPredictedAccepted, m.StaticPredictedAccepted, s.Accepted, m.Accepted)
 		}
 	}
 	return nil
@@ -322,11 +415,11 @@ func relGap(a, b float64) float64 {
 // FormatDegraded renders the study as a markdown table.
 func FormatDegraded(rows []DegradedRow) string {
 	var b strings.Builder
-	b.WriteString("| scheme | rate | links | static max load | mean load | dilation | unrouted | served | predicted B/ns | broken | warnings | accepted B/ns | dropped | reroutes | lat (ns) | epochs |\n")
-	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	b.WriteString("| scheme | axis | rate | sw out | links | static max load | mean load | dilation | unrouted | served | predicted B/ns | broken | warnings | accepted B/ns | dropped | reroutes | lat (ns) | epochs |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "| %s | %.2f | %d | %.1f | %.1f | %.3f | %d | %.3f | %.4f | %d | %d | %.4f | %d | %d | %.0f | %d |\n",
-			r.Scheme, r.Rate, r.FailedLinks, r.StaticMaxLoad, r.StaticMeanLoad,
+		fmt.Fprintf(&b, "| %s | %s | %.2f | %d | %d | %.1f | %.1f | %.3f | %d | %.3f | %.4f | %d | %d | %.4f | %d | %d | %.0f | %d |\n",
+			r.Scheme, r.Axis, r.Rate, r.SwitchesOut, r.FailedLinks, r.StaticMaxLoad, r.StaticMeanLoad,
 			r.StaticMeanDilation, r.StaticUnrouted, r.StaticServedFrac, r.StaticPredictedAccepted,
 			r.BrokenEntries, r.StaticWarnings,
 			r.Accepted, r.DroppedWindow, r.Reroutes, r.MeanLatencyNs, r.VerifiedEpochs)
@@ -337,10 +430,10 @@ func FormatDegraded(rows []DegradedRow) string {
 // DegradedCSV renders the study in long form.
 func DegradedCSV(rows []DegradedRow) string {
 	var b strings.Builder
-	b.WriteString("scheme,rate,failed_links,static_max_load,static_mean_load,static_mean_dilation,static_unrouted,static_served_frac,static_predicted_accepted,broken_entries,static_warnings,accepted,dropped_window,reroutes,mean_latency_ns,verified_epochs\n")
+	b.WriteString("scheme,axis,rate,switches_out,failed_links,static_max_load,static_mean_load,static_mean_dilation,static_unrouted,static_served_frac,static_predicted_accepted,broken_entries,static_warnings,accepted,dropped_window,reroutes,mean_latency_ns,verified_epochs\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%s,%.4f,%d,%.2f,%.2f,%.4f,%d,%.4f,%.6f,%d,%d,%.6f,%d,%d,%.2f,%d\n",
-			r.Scheme, r.Rate, r.FailedLinks, r.StaticMaxLoad, r.StaticMeanLoad,
+		fmt.Fprintf(&b, "%s,%s,%.4f,%d,%d,%.2f,%.2f,%.4f,%d,%.4f,%.6f,%d,%d,%.6f,%d,%d,%.2f,%d\n",
+			r.Scheme, r.Axis, r.Rate, r.SwitchesOut, r.FailedLinks, r.StaticMaxLoad, r.StaticMeanLoad,
 			r.StaticMeanDilation, r.StaticUnrouted, r.StaticServedFrac, r.StaticPredictedAccepted,
 			r.BrokenEntries, r.StaticWarnings,
 			r.Accepted, r.DroppedWindow, r.Reroutes, r.MeanLatencyNs, r.VerifiedEpochs)

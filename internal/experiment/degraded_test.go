@@ -19,8 +19,21 @@ func TestDegradedStudyOrderingConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2*len(spec.Rates) {
-		t.Fatalf("got %d rows, want %d", len(rows), 2*len(spec.Rates))
+	want := 2 * (len(spec.Rates) + len(spec.SwitchOuts))
+	if len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	var switchRows int
+	for _, r := range rows {
+		if r.Axis == "switches" {
+			switchRows++
+			if r.SwitchesOut < 1 {
+				t.Errorf("switches-axis row with SwitchesOut %d", r.SwitchesOut)
+			}
+		}
+	}
+	if switchRows != 2*len(spec.SwitchOuts) {
+		t.Errorf("got %d switch-out rows, want %d", switchRows, 2*len(spec.SwitchOuts))
 	}
 	if err := DegradedOrderingConsistent(rows); err != nil {
 		t.Fatal(err)

@@ -91,6 +91,9 @@ type RecoveryRow struct {
 	// DropsAfterRecovery counts drops after the post-window opened: zero
 	// means the scheme fully rode through the fault.
 	DropsAfterRecovery int64
+	// Series is the run's per-interval transient view; RecoverySeriesCSV
+	// renders it as recovery-tail curves.
+	Series []sim.SeriesPoint
 }
 
 // RecoveryStudy runs the recovery transient for both schemes across the
@@ -137,6 +140,7 @@ func RecoveryStudy(spec RecoverySpec) ([]RecoveryRow, error) {
 				BrokenEntries: res.BrokenEntries,
 				LFTUpdates:    res.LFTUpdates,
 				RecoveryNs:    res.RecoveryNs,
+				Series:        res.Series,
 			}
 			// The post window opens after the SM converged plus two series
 			// bins of drain for in-flight stale packets.
@@ -188,6 +192,23 @@ func FormatRecovery(rows []RecoveryRow) string {
 			r.Scheme, r.VLs, r.DroppedWindow, r.Reroutes, r.BrokenEntries, r.LFTUpdates,
 			r.RecoveryNs, r.PreAccepted, r.PostAccepted, r.RecoveredFrac,
 			r.PreLatencyNs, r.PostLatencyNs, r.DropsAfterRecovery)
+	}
+	return b.String()
+}
+
+// RecoverySeriesCSV renders every row's per-interval transient in long
+// form: one line per (scheme, VLs, bin) with the bin's delivered, dropped,
+// rerouted, retransmitted, failed, and unreachable-degraded counts — the
+// recovery-tail curves behind the summary columns.
+func RecoverySeriesCSV(rows []RecoveryRow) string {
+	var b strings.Builder
+	b.WriteString("scheme,vls,start_ns,accepted,mean_latency_ns,delivered,dropped,reroutes,retransmits,failed,unreachable\n")
+	for _, r := range rows {
+		for _, sp := range r.Series {
+			fmt.Fprintf(&b, "%s,%d,%d,%.6f,%.2f,%d,%d,%d,%d,%d,%d\n",
+				r.Scheme, r.VLs, sp.StartNs, sp.Accepted, sp.MeanLatencyNs,
+				sp.Delivered, sp.Dropped, sp.Reroutes, sp.Retransmits, sp.Failed, sp.Unreachable)
+		}
 	}
 	return b.String()
 }

@@ -53,6 +53,19 @@ func TestRecoveryStudyQuick(t *testing.T) {
 	if got := strings.Count(csv, "\n"); got != len(rows)+1 {
 		t.Errorf("RecoveryCSV has %d lines, want %d", got, len(rows)+1)
 	}
+
+	// The recovery-tail view: every row carries its series, and the long
+	// form has one line per (row, bin) plus the header.
+	var bins int
+	for _, r := range rows {
+		if len(r.Series) == 0 {
+			t.Errorf("%s %dVL: no transient series", r.Scheme, r.VLs)
+		}
+		bins += len(r.Series)
+	}
+	if got := strings.Count(RecoverySeriesCSV(rows), "\n"); got != bins+1 {
+		t.Errorf("RecoverySeriesCSV has %d lines, want %d", got, bins+1)
+	}
 }
 
 // TestRecoveryStudyDeterminism pins the study as reproducible run-to-run.

@@ -13,7 +13,8 @@
 //     idiom;
 //   - a channel send;
 //   - a call to an emitting function — names like schedule, send, push,
-//     enqueue, emit, print/printf/println, fprintf, write/writestring — when
+//     enqueue, emit, print/printf/println, fprintf, write/writestring, and
+//     the subnet-manager sweep verbs diff/observe/stage/reset/redrive — when
 //     the receiver or an argument refers outside the loop;
 //   - a compound assignment (+=, *=, ...) to an outside variable of
 //     floating-point, complex or string type: those operations are not
@@ -47,12 +48,20 @@ var Analyzer = &analysis.Analyzer{
 // bucket whose slot order is append order, and merge/distribute move window
 // buffers between lanes in their canonical (time, sequence) order — calling
 // any of them per map key would replace that order with map iteration order.
+// The subnet manager's sweep-diff verbs are included too: diff compares the
+// discovered port state against the SM's shadow view and reports deltas in
+// call order, observe feeds liveness samples to the failover automaton (whose
+// takeover decision follows the first observation that sees the master down),
+// and stage/reset/redrive open or re-open SMP transactions whose indices —
+// and hence the whole retransmit schedule — are assigned in call order.
 var sinkNames = map[string]bool{
 	"schedule": true, "send": true, "push": true, "enqueue": true,
 	"emit": true, "print": true, "printf": true, "println": true,
 	"fprint": true, "fprintf": true, "fprintln": true,
 	"write": true, "writestring": true, "writebyte": true, "writerune": true,
 	"insert": true, "merge": true, "distribute": true,
+	"diff": true, "diffdeadlinks": true, "observe": true,
+	"stage": true, "reset": true, "redrive": true,
 }
 
 // sortCalls are qualified functions that establish a deterministic order for

@@ -127,6 +127,79 @@ func badMerge(dst *scheduler, lanes map[int]*scheduler) {
 	}
 }
 
+type subnetManager struct {
+	txns    []int
+	added   [][2]int32
+	removed [][2]int32
+}
+
+func (m *subnetManager) diff(e [2]int32) { m.added = append(m.added, e) }
+func (m *subnetManager) observe(up bool) {}
+func (m *subnetManager) stage(sw int32)  { m.txns = append(m.txns, int(sw)) }
+func (m *subnetManager) reset(idx int)   { m.txns[idx] = 0 }
+func (m *subnetManager) redrive(idx int) {}
+
+// badSweepDiff diffs the discovered dead-link set against the shadow view by
+// ranging the sets themselves: the delta order — and every SMP transaction
+// opened from it — follows map iteration order.
+func badSweepDiff(m *subnetManager, known, discovered map[[2]int32]bool) {
+	for e := range discovered {
+		if !known[e] {
+			m.diff(e) // want `call to m\.diff inside range over map`
+		}
+	}
+}
+
+// badSweepStage opens one SMP transaction per discovered delta in map order:
+// transaction indices, and hence the retransmit schedule, become random.
+func badSweepStage(m *subnetManager, deltas map[int32]bool) {
+	for sw := range deltas {
+		m.stage(sw) // want `call to m\.stage inside range over map`
+	}
+}
+
+// badSweepObserve feeds liveness samples to the failover automaton in map
+// order: the takeover fires on whichever sample the map yields first.
+func badSweepObserve(m *subnetManager, attachUp map[int32]bool) {
+	for _, up := range attachUp {
+		m.observe(up) // want `call to m\.observe inside range over map`
+	}
+}
+
+// badSweepRedrive re-opens parked transactions in map order instead of the
+// ascending index order TxnManager.Parked returns.
+func badSweepRedrive(m *subnetManager, parked map[int]bool) {
+	for idx := range parked {
+		m.reset(idx)   // want `call to m\.reset inside range over map`
+		m.redrive(idx) // want `call to m\.redrive inside range over map`
+	}
+}
+
+// goodSweepDiff is the sanctioned sweep-diff: membership maps are read-only
+// lookups, and both outputs are built by ranging the event-ordered slices —
+// the shape of sm.DiffDeadLinks.
+func goodSweepDiff(known, discovered [][2]int32) (added, removed [][2]int32) {
+	inKnown := make(map[[2]int32]bool, len(known))
+	for _, e := range known {
+		inKnown[e] = true // map write: not flagged
+	}
+	inDisc := make(map[[2]int32]bool, len(discovered))
+	for _, e := range discovered {
+		inDisc[e] = true // map write: not flagged
+	}
+	for _, e := range discovered {
+		if !inKnown[e] {
+			added = append(added, e) // slice range: not a map loop
+		}
+	}
+	for _, e := range known {
+		if !inDisc[e] {
+			removed = append(removed, e)
+		}
+	}
+	return added, removed
+}
+
 // goodLocalBuilder builds a per-entry string stored by key.
 func goodLocalBuilder(src map[int]string, dst map[int]string) {
 	for k, v := range src {

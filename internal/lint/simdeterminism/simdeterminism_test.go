@@ -10,6 +10,14 @@ func TestSimDeterminism(t *testing.T) {
 	linttest.Run(t, Analyzer, "sim")
 }
 
+// TestSMPackage proves the subnet-manager package is covered: its state
+// machines (sweep, SMP retransmit, failover) feed the simulator's event loop,
+// so wall clocks, runtime timers and global entropy are as illegal there as
+// in the engine itself.
+func TestSMPackage(t *testing.T) {
+	linttest.Run(t, Analyzer, "sm")
+}
+
 // TestExperimentPackage proves the harness package is covered: studies are
 // pinned by determinism tests, so the same entropy rules apply there.
 func TestExperimentPackage(t *testing.T) {

@@ -1,0 +1,77 @@
+// Package sm is a simdeterminism testdata fixture: its leaf name matches the
+// subnet-manager package, so the same entropy rules as the simulator core
+// apply — sweep timers, retry backoff and failover must run on the simulation
+// clock with seeded entropy only.
+package sm
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+)
+
+type sweeper struct {
+	lastNs int64
+	rng    *rand.Rand
+}
+
+func newSweeper(seed int64) *sweeper {
+	// Negative case: seeding a private generator is the sanctioned pattern.
+	return &sweeper{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *sweeper) badSweepClock() int64 {
+	// A sweep interval measured on the wall clock drifts with host load; the
+	// sweep must be an event on the simulation clock.
+	now := time.Now()                      // want `call to time\.Now in simulator code`
+	_ = time.Since(time.Unix(0, s.lastNs)) // want `call to time\.Since in simulator code`
+	return now.UnixNano()
+}
+
+func (s *sweeper) badRetryJitter() int64 {
+	// SMP retransmit jitter from the global generator makes the backoff
+	// schedule differ run to run.
+	jitter := rand.Int63n(1000) // want `global math/rand Int63n in simulator code`
+	_ = rand.Float64()          // want `global math/rand Float64 in simulator code`
+	return jitter
+}
+
+func (s *sweeper) badHostIdentity() int {
+	// Electing the master SM by host identity or environment makes failover
+	// machine-dependent.
+	pid := os.Getpid()       // want `os\.Getpid in simulator code`
+	_ = os.Getenv("SM_NODE") // want `os\.Getenv in simulator code`
+	return pid
+}
+
+func (s *sweeper) badSweepTimers() {
+	// The periodic sweep must be a scheduled event, never a runtime timer.
+	time.Sleep(25 * time.Microsecond)          // want `time\.Sleep in simulator code`
+	_ = time.After(time.Microsecond)           // want `time\.After in simulator code`
+	_ = time.NewTicker(25 * time.Microsecond)  // want `time\.NewTicker in simulator code`
+	_ = time.AfterFunc(time.Second, func() {}) // want `time\.AfterFunc in simulator code`
+}
+
+func (s *sweeper) badParallelSweep() int {
+	// Sweep fan-out sized from the host makes the SMP schedule
+	// machine-dependent.
+	return runtime.NumCPU() // want `runtime\.NumCPU in the engine core`
+}
+
+func (s *sweeper) badResponseRace(acks, timeouts chan int) int {
+	select { // want `select with 2 channel cases`
+	case v := <-acks:
+		return v
+	case v := <-timeouts:
+		return v
+	}
+}
+
+func (s *sweeper) goodBackoff() int64 {
+	// Negative cases: duration arithmetic, the seeded generator and the
+	// simulation clock are all deterministic.
+	d := 25 * time.Microsecond
+	s.lastNs += int64(d) + s.rng.Int63n(3)
+	return s.lastNs
+}

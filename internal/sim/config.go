@@ -192,6 +192,9 @@ type SeriesPoint struct {
 	// Retransmits counts retransmissions injected in the bin; Failed the
 	// packets whose retry budget ran out in the bin (Transport runs).
 	Retransmits, Failed int64
+	// Unreachable counts packets written off by partition-aware degradation
+	// in the bin (FaultPlan runs with InBandSM and Transport).
+	Unreachable int64
 }
 
 // TraceHop is one switch traversal in a packet trace.
@@ -444,4 +447,30 @@ type Result struct {
 	// DrainedNs is the post-generation drain horizon the run waited for
 	// outstanding retransmissions (TransportConfig.DrainNs after defaults).
 	DrainedNs Time
+
+	// In-band subnet management counters (FaultPlan.InBandSM; all zero
+	// under the oracle SM).
+	//
+	// TrapsSent counts raised traps; TrapsLost the ones that died to the
+	// loss probability or a broken management path; TrapsDelivered the ones
+	// that reached the active SM.
+	TrapsSent, TrapsLost, TrapsDelivered int64
+	// SMSweeps counts periodic sweep ticks; SweepDetections the sweeps
+	// whose port-state diff found knowledge the traps had lost.
+	SMSweeps, SweepDetections int64
+	// SMPsSent counts LFT-update SMP transmissions (first sends and
+	// retries); SMPRetries just the retries; SMPFailed the transactions
+	// whose retry budget ran out (parked until a sweep re-drove them).
+	SMPsSent, SMPRetries, SMPFailed int64
+	// Failovers counts standby takeovers (and sticky take-backs).
+	Failovers int64
+	// PartitionEvents counts the SM's transitions into a partitioned
+	// verdict: repair could not restore full reachability.
+	PartitionEvents int64
+	// UnreachableDegraded counts packets senders wrote off because the SM
+	// declared their destination unreachable — graceful degradation instead
+	// of burned retries, kept apart from Failed. With Transport on the
+	// conservation identity becomes InFlightAtEnd = TotalGenerated -
+	// TotalDelivered - Failed - UnreachableDegraded.
+	UnreachableDegraded int64
 }

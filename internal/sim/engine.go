@@ -73,6 +73,24 @@ const (
 	// timer generation that armed it, so a stale timer (the flow re-armed or
 	// fully acknowledged since) is ignored (Config.Transport).
 	evRexmit
+	// evTrapArrive is an in-band trap about the link at switch a, abstract
+	// port b reaching the active SM; pi carries the direction flag (1: the
+	// link died, 0: it revived). Only scheduled when a live management path
+	// existed at emission time (FaultPlan.InBandSM).
+	evTrapArrive
+	// evSMSweep is the in-band SM's periodic sweep tick: liveness check and
+	// failover, port-state discovery diffed against the SM's view, and
+	// re-driving parked SMP transactions.
+	evSMSweep
+	// evSMPArrive is the LFT-update SMP of staged update a reaching its
+	// target switch (first copy applies; retransmissions are idempotent).
+	evSMPArrive
+	// evSMPAck is the target switch's SMP response reaching the active SM,
+	// closing transaction a.
+	evSMPAck
+	// evSMPTimeout fires the response timer of SMP transaction a; b carries
+	// the timer generation that armed it, exactly like evRexmit.
+	evSMPTimeout
 )
 
 // event is one scheduled typed record. The argument fields are a union over

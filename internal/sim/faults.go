@@ -20,6 +20,128 @@ const (
 	DefaultLFTUpdateNs   Time = 500
 )
 
+// Default in-band subnet-management timing (FaultPlan.InBandSM). The sweep
+// interval is the SM's all-ports discovery cadence — the only recovery path
+// when a trap is lost; the SMP timeout ladder follows the capped exponential
+// backoff a real MAD layer uses.
+const (
+	DefaultSMSweepIntervalNs Time = 25_000
+	DefaultSMPTimeoutNs      Time = 4_000
+	DefaultSMPBackoffMult         = 2.0
+	DefaultSMPMaxRetries          = 4
+)
+
+// InBandSMConfig switches the subnet-manager model from the default oracle
+// (traps and table updates land by fiat, after fixed latencies, regardless of
+// fabric state) to in-band management: traps and per-switch LFT-update SMPs
+// travel the management VL through the live forwarding tables, so a
+// notification whose path crosses a dead link is lost and recovery falls to
+// the periodic sweep. It also enables SMP retry/backoff, master/standby SM
+// failover, and partition-aware source degradation. Nil keeps the oracle; the
+// zero value takes every default below.
+type InBandSMConfig struct {
+	// MasterNode is the endnode hosting the master SM. Traps and SMP
+	// responses are routed to it (while it is the active SM) through the
+	// live tables; its attachment dying silences the SM until failover.
+	MasterNode int32
+	// StandbyNode hosts the standby SM. It must sit on a different leaf
+	// switch than the master, so one switch outage cannot take out both.
+	// Left equal to MasterNode (e.g. both zero), it defaults to the
+	// highest-numbered node.
+	StandbyNode int32
+	// SweepIntervalNs is the period of the lightweight all-ports sweep that
+	// diffs discovered port state against the SM's view, recovering lost
+	// traps and re-driving retry-exhausted SMPs. Zero takes the default.
+	SweepIntervalNs Time
+	// TrapLossProb is an extra independent loss probability applied to each
+	// emitted trap, on top of path-based loss, modelling the unacked nature
+	// of trap MADs. Must be in [0, 1]; 1 silences every trap, leaving the
+	// periodic sweep as the SM's only discovery path — the sweep-only
+	// extreme of the recovery-tail study.
+	TrapLossProb float64
+	// SMPTimeoutNs is the base response timeout of an LFT-update SMP
+	// transaction. Zero takes the default.
+	SMPTimeoutNs Time
+	// SMPBackoffMult multiplies the timeout on each retransmission (capped
+	// at SMPMaxTimeoutNs). Zero takes the default; must be >= 1.
+	SMPBackoffMult float64
+	// SMPMaxTimeoutNs caps the backed-off timeout. Zero takes 8x the base.
+	SMPMaxTimeoutNs Time
+	// SMPMaxRetries is the retransmission budget after the first send; once
+	// spent the transaction parks until a sweep re-drives it. Zero takes
+	// the default; negative means no retries.
+	SMPMaxRetries int
+}
+
+// withDefaults fills zero fields.
+func (c InBandSMConfig) withDefaults() InBandSMConfig {
+	if c.SweepIntervalNs == 0 {
+		c.SweepIntervalNs = DefaultSMSweepIntervalNs
+	}
+	if c.SMPTimeoutNs == 0 {
+		c.SMPTimeoutNs = DefaultSMPTimeoutNs
+	}
+	if c.SMPBackoffMult == 0 {
+		c.SMPBackoffMult = DefaultSMPBackoffMult
+	}
+	if c.SMPMaxTimeoutNs == 0 {
+		c.SMPMaxTimeoutNs = 8 * c.SMPTimeoutNs
+	}
+	switch {
+	case c.SMPMaxRetries == 0:
+		c.SMPMaxRetries = DefaultSMPMaxRetries
+	case c.SMPMaxRetries < 0:
+		c.SMPMaxRetries = 0
+	}
+	return c
+}
+
+// resolvedStandby returns the standby SM's node, applying the
+// highest-numbered-node default when StandbyNode was left equal to MasterNode.
+func (c *InBandSMConfig) resolvedStandby(t *topology.Tree) int32 {
+	if c.StandbyNode != c.MasterNode {
+		return c.StandbyNode
+	}
+	return int32(t.Nodes() - 1)
+}
+
+// validate rejects inconsistent in-band SM configurations. Called on the
+// defaults-filled copy.
+func (c *InBandSMConfig) validate(t *topology.Tree) error {
+	if !t.ValidNode(topology.NodeID(c.MasterNode)) {
+		return fmt.Errorf("sim: InBandSM.MasterNode %d is not a node of %v", c.MasterNode, t)
+	}
+	standby := c.resolvedStandby(t)
+	if !t.ValidNode(topology.NodeID(standby)) {
+		return fmt.Errorf("sim: InBandSM.StandbyNode %d is not a node of %v", standby, t)
+	}
+	if standby == c.MasterNode {
+		return fmt.Errorf("sim: InBandSM master and standby resolve to the same node %d", standby)
+	}
+	msw, _ := t.NodeAttachment(topology.NodeID(c.MasterNode))
+	ssw, _ := t.NodeAttachment(topology.NodeID(standby))
+	if msw == ssw {
+		return fmt.Errorf("sim: InBandSM master (node %d) and standby (node %d) share leaf switch %d; "+
+			"one switch outage would take out both SMs, defeating failover", c.MasterNode, standby, msw)
+	}
+	if c.TrapLossProb < 0 || c.TrapLossProb > 1 {
+		return fmt.Errorf("sim: InBandSM.TrapLossProb %v outside [0, 1]", c.TrapLossProb)
+	}
+	if c.SweepIntervalNs <= 0 {
+		return fmt.Errorf("sim: InBandSM.SweepIntervalNs must be positive, got %d", c.SweepIntervalNs)
+	}
+	if c.SMPTimeoutNs <= 0 {
+		return fmt.Errorf("sim: InBandSM.SMPTimeoutNs must be positive, got %d", c.SMPTimeoutNs)
+	}
+	if c.SMPBackoffMult < 1 {
+		return fmt.Errorf("sim: InBandSM.SMPBackoffMult %v < 1 would shrink timeouts", c.SMPBackoffMult)
+	}
+	if c.SMPMaxTimeoutNs < c.SMPTimeoutNs {
+		return fmt.Errorf("sim: InBandSM.SMPMaxTimeoutNs %d below the base timeout %d", c.SMPMaxTimeoutNs, c.SMPTimeoutNs)
+	}
+	return nil
+}
+
 // LinkFault schedules one bidirectional link outage. The link is named by
 // its switch-side endpoint (switch + abstract port), exactly like
 // core.FaultSet.FailLink; node-attachment links are named by the leaf-switch
@@ -78,9 +200,16 @@ type FaultPlan struct {
 	// paths. Without it, sources keep their configured selection and
 	// packets routed onto broken entries drop.
 	Reselect bool
+	// InBandSM, when set, replaces the oracle SM reaction with in-band
+	// subnet management: see InBandSMConfig. TrapLatencyNs then models only
+	// local port-down detection (the propagation delay comes from routing
+	// the trap), and SMProcessNs/LFTUpdateNs keep their meanings for the
+	// SM's local computation and SMP issue spacing.
+	InBandSM *InBandSMConfig
 }
 
-// withDefaults fills zero timing fields.
+// withDefaults fills zero timing fields (cloning InBandSM so shared plan
+// literals stay untouched).
 func (p FaultPlan) withDefaults() FaultPlan {
 	if p.TrapLatencyNs == 0 {
 		p.TrapLatencyNs = DefaultTrapLatencyNs
@@ -90,6 +219,10 @@ func (p FaultPlan) withDefaults() FaultPlan {
 	}
 	if p.LFTUpdateNs == 0 {
 		p.LFTUpdateNs = DefaultLFTUpdateNs
+	}
+	if p.InBandSM != nil {
+		c := p.InBandSM.withDefaults()
+		p.InBandSM = &c
 	}
 	return p
 }
@@ -123,6 +256,11 @@ func canonicalLink(t *topology.Tree, sw int32, port int) [2]int32 {
 func (p FaultPlan) validate(t *topology.Tree) error {
 	if p.TrapLatencyNs < 0 || p.SMProcessNs < 0 || p.LFTUpdateNs < 0 {
 		return fmt.Errorf("sim: negative FaultPlan timing")
+	}
+	if p.InBandSM != nil {
+		if err := p.InBandSM.validate(t); err != nil {
+			return err
+		}
 	}
 	ivals := make([]faultIval, 0, len(p.Faults)+len(p.SwitchFaults)*t.M())
 	for i, f := range p.Faults {
@@ -241,6 +379,11 @@ type faultRun struct {
 	// the cached mask was computed at (0 = unset; valid epochs are >= 1).
 	reselMask  []uint64
 	reselEpoch []uint32
+
+	// inband is the in-band SM state (insm.go), nil under the oracle. Like
+	// the verify counters it lives on the shared faultRun: only
+	// barrier-aligned coordinator events touch it in a sharded run.
+	inband *inbandRun
 }
 
 // scheduleFaults seeds the plan's link events. Called once from Run.
@@ -257,12 +400,20 @@ func (s *Sim) scheduleFaults() {
 		s.faults.reselMask = make([]uint64, n*n)
 		s.faults.reselEpoch = make([]uint32, n*n)
 	}
+	// In-band management emits traps from the link events themselves
+	// (markLinkDown / linkUp), routed through the live tables; only the
+	// oracle gets the fiat evTrap that always reaches the SM.
+	oracle := plan.InBandSM == nil
 	for _, f := range plan.Faults {
 		s.schedule(f.DownNs, event{kind: evLinkDown, a: f.Switch, b: int32(f.Port)})
-		s.schedule(f.DownNs+plan.TrapLatencyNs, event{kind: evTrap})
+		if oracle {
+			s.schedule(f.DownNs+plan.TrapLatencyNs, event{kind: evTrap})
+		}
 		if f.UpNs > 0 {
 			s.schedule(f.UpNs, event{kind: evLinkUp, a: f.Switch, b: int32(f.Port)})
-			s.schedule(f.UpNs+plan.TrapLatencyNs, event{kind: evTrap})
+			if oracle {
+				s.schedule(f.UpNs+plan.TrapLatencyNs, event{kind: evTrap})
+			}
 		}
 	}
 	// A switch fault is its ports' link events landing atomically: every
@@ -271,13 +422,20 @@ func (s *Sim) scheduleFaults() {
 		for port := 0; port < s.tree.M(); port++ {
 			s.schedule(f.DownNs, event{kind: evLinkDown, a: f.Switch, b: int32(port)})
 		}
-		s.schedule(f.DownNs+plan.TrapLatencyNs, event{kind: evTrap})
+		if oracle {
+			s.schedule(f.DownNs+plan.TrapLatencyNs, event{kind: evTrap})
+		}
 		if f.UpNs > 0 {
 			for port := 0; port < s.tree.M(); port++ {
 				s.schedule(f.UpNs, event{kind: evLinkUp, a: f.Switch, b: int32(port)})
 			}
-			s.schedule(f.UpNs+plan.TrapLatencyNs, event{kind: evTrap})
+			if oracle {
+				s.schedule(f.UpNs+plan.TrapLatencyNs, event{kind: evTrap})
+			}
 		}
+	}
+	if !oracle {
+		s.initInBand()
 	}
 }
 
@@ -332,6 +490,9 @@ func (s *Sim) markLinkDown(sw int32, port int) {
 	if s.faults.firstDownNs < 0 {
 		s.faults.firstDownNs = s.now
 	}
+	if s.faults.inband != nil {
+		s.emitTrap(sw, int32(port), true)
+	}
 }
 
 // linkUp revives both directions. Credit state needs no repair: every credit
@@ -349,6 +510,9 @@ func (s *Sim) linkUp(sw int32, port int) {
 			s.faults.deadLinks = append(s.faults.deadLinks[:i], s.faults.deadLinks[i+1:]...)
 			break
 		}
+	}
+	if s.faults.inband != nil {
+		s.emitTrap(sw, int32(port), false)
 	}
 }
 
@@ -403,14 +567,38 @@ func (s *Sim) dropPkt(p *pkt) {
 	s.freePkt(p)
 }
 
-// smTrap is the subnet-manager model reacting to a link event, one trap
-// latency after it happened: recompute the repaired tables from the pristine
-// configuration and the currently-dead links (core.RepairSubnet), diff them
-// against the SM's projected view, and stage one timed update per switch
-// whose table changed.
+// smTrap is the oracle subnet-manager model reacting to a link event, one
+// trap latency after it happened: recompute repaired tables against the
+// ground-truth dead links and schedule one timed fiat table update per staged
+// switch delta.
 func (s *Sim) smTrap() {
+	staged, ok := s.smRepair(s.faults.deadLinks)
+	if !ok {
+		return
+	}
+	for i, idx := range staged {
+		at := s.now + s.faults.plan.SMProcessNs + Time(i)*s.faults.plan.LFTUpdateNs
+		s.schedule(at, event{kind: evLFTUpdate, a: int32(idx)})
+	}
+	// Sources learn of the fault from the SM's sweep: reselection activates
+	// (and caches invalidate) even when no table could be repaired.
+	s.faults.epoch++
+	if s.cfg.VerifyEpochs {
+		s.verifyEpoch()
+	}
+}
+
+// smRepair is the SM's path recomputation, shared by the oracle and the
+// in-band model: repair the pristine configuration against deadView
+// (core.RepairSubnet), diff the result against the SM's projected view, and
+// stage one table delta per switch whose table changed. It returns the
+// indices of the newly staged updates — scheduling their application (fiat
+// event or SMP transaction) is the caller's business — and ok=false when the
+// run already failed. deadView is the SM's knowledge: ground truth for the
+// oracle, the possibly-stale trap/sweep-fed view in-band.
+func (s *Sim) smRepair(deadView [][2]int32) (staged []int, ok bool) {
 	fs := core.NewFaultSet()
-	for _, e := range s.faults.deadLinks {
+	for _, e := range deadView {
 		fs.FailLink(s.tree, topology.SwitchID(e[0]), int(e[1]))
 	}
 	scratch := &ib.Subnet{
@@ -425,7 +613,7 @@ func (s *Sim) smTrap() {
 	_, broken, err := core.RepairSubnet(scratch, fs)
 	if err != nil {
 		s.fail(fmt.Errorf("sim: SM repair at %d ns: %w", s.now, err))
-		return
+		return nil, false
 	}
 	s.faults.lastBroken = len(broken)
 	if s.faults.shadow == nil {
@@ -434,7 +622,6 @@ func (s *Sim) smTrap() {
 			s.faults.shadow[i] = lft.Clone()
 		}
 	}
-	staged := 0
 	for sw := range s.lfts {
 		want := scratch.LFTs[sw].Entries()
 		have := s.faults.shadow[sw].Entries()
@@ -450,21 +637,14 @@ func (s *Sim) smTrap() {
 		for _, d := range delta {
 			if err := s.faults.shadow[sw].Set(d.lid, d.port); err != nil {
 				s.fail(fmt.Errorf("sim: staging LFT update for switch %d: %w", sw, err))
-				return
+				return nil, false
 			}
 		}
 		idx := len(s.faults.staged)
 		s.faults.staged = append(s.faults.staged, stagedLFTUpdate{sw: int32(sw), entries: delta})
-		at := s.now + s.faults.plan.SMProcessNs + Time(staged)*s.faults.plan.LFTUpdateNs
-		s.schedule(at, event{kind: evLFTUpdate, a: int32(idx)})
-		staged++
+		staged = append(staged, idx)
 	}
-	// Sources learn of the fault from the SM's sweep: reselection activates
-	// (and caches invalidate) even when no table could be repaired.
-	s.faults.epoch++
-	if s.cfg.VerifyEpochs {
-		s.verifyEpoch()
-	}
+	return staged, true
 }
 
 // applyLFTUpdate rewrites one switch's live forwarding table with a staged

@@ -271,6 +271,11 @@ func (r *shardedRun) route(s *Sim, ev event) int {
 	case evCredit, evKick, evRelease:
 		return int(r.laneOfPid[ev.a])
 	case evRexmit:
+		if ev.pi != 0 {
+			// A drain timer (destination declared unreachable at arm time)
+			// reads the receiver's PSN state and the shared SM counters.
+			return laneGlobal
+		}
 		if tp := s.transport; tp != nil {
 			if f := &tp.tx[ev.a]; len(f.unacked) > 0 && int(f.unacked[0].attempts) >= tp.cfg.MaxRetries {
 				return laneGlobal
@@ -603,7 +608,17 @@ func (r *shardedRun) executeGlobal(ev event) {
 		l0.applyLFTUpdate(int(ev.a))
 	case evRexmit:
 		src := ev.a / int32(l0.tree.Nodes())
-		r.lanes[r.laneOfNode[src]].rexmitTimer(ev.a, ev.b)
+		r.lanes[r.laneOfNode[src]].rexmitTimer(ev.a, ev.b, ev.pi != 0)
+	case evTrapArrive:
+		l0.trapArrive(ev.a, ev.b, ev.pi != 0)
+	case evSMSweep:
+		l0.smSweep()
+	case evSMPArrive:
+		l0.smpArrive(int(ev.a))
+	case evSMPAck:
+		l0.smpAck(int(ev.a))
+	case evSMPTimeout:
+		l0.smpTimeout(int(ev.a), ev.b)
 	default:
 		l0.fail(fmt.Errorf("sim: unknown event kind %d (engine bug)", ev.kind))
 	}
@@ -726,6 +741,7 @@ func (r *shardedRun) merge() {
 			m.seriesReroutes = append(m.seriesReroutes, 0)
 			m.seriesRexmit = append(m.seriesRexmit, 0)
 			m.seriesFailed = append(m.seriesFailed, 0)
+			m.seriesUnreachable = append(m.seriesUnreachable, 0)
 		}
 		for i := range l.seriesBytes {
 			m.seriesBytes[i] += l.seriesBytes[i]
@@ -735,6 +751,7 @@ func (r *shardedRun) merge() {
 			m.seriesReroutes[i] += l.seriesReroutes[i]
 			m.seriesRexmit[i] += l.seriesRexmit[i]
 			m.seriesFailed[i] += l.seriesFailed[i]
+			m.seriesUnreachable[i] += l.seriesUnreachable[i]
 		}
 	}
 	m.now = r.maxExecT

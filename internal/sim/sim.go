@@ -231,6 +231,9 @@ type Sim struct {
 	seriesReroutes []int64
 	seriesRexmit   []int64
 	seriesFailed   []int64
+	// seriesUnreachable counts packets written off by partition-aware
+	// degradation (FaultPlan.InBandSM) per interval; zero-filled otherwise.
+	seriesUnreachable []int64
 
 	// reliable-transport state (Config.Transport); nil when disabled.
 	transport *transportRun
@@ -366,6 +369,22 @@ func (s *Sim) buildResult(horizon Time, events int64) Result {
 		// generated = delivered + failed + in-flight.
 		res.InFlightAtEnd = s.totalGenerated - s.totalDelivered - t.failed
 	}
+	if ib := s.faults.inband; ib != nil {
+		res.TrapsSent = ib.trapsSent
+		res.TrapsLost = ib.trapsLost
+		res.TrapsDelivered = ib.trapsDelivered
+		res.SMSweeps = ib.sweeps
+		res.SweepDetections = ib.sweepDetections
+		res.SMPsSent = ib.smpSent
+		res.SMPRetries = ib.smpRetries
+		res.SMPFailed = ib.smpFailed
+		res.Failovers = ib.failovers
+		res.PartitionEvents = ib.partitionEvents
+		res.UnreachableDegraded = ib.unreachableDegraded
+		// Degraded packets left the sender's books without a Failed count:
+		// generated = delivered + failed + unreachable-degraded + in-flight.
+		res.InFlightAtEnd -= ib.unreachableDegraded
+	}
 	res.Accepted = float64(s.deliveredBytesWindow) / float64(cfg.MeasureNs) / float64(s.tree.Nodes())
 	res.Saturated = res.Accepted < 0.98*cfg.OfferedLoad
 	var sum float64
@@ -401,6 +420,7 @@ func (s *Sim) buildResult(horizon Time, events int64) Result {
 				Reroutes:    s.seriesReroutes[bin],
 				Retransmits: s.seriesRexmit[bin],
 				Failed:      s.seriesFailed[bin],
+				Unreachable: s.seriesUnreachable[bin],
 			}
 			if s.seriesCount[bin] > 0 {
 				sp.MeanLatencyNs = s.seriesLat[bin] / float64(s.seriesCount[bin])
@@ -658,7 +678,17 @@ func (s *Sim) dispatch(ev event) {
 	case evLFTUpdate:
 		s.applyLFTUpdate(int(ev.a))
 	case evRexmit:
-		s.rexmitTimer(ev.a, ev.b)
+		s.rexmitTimer(ev.a, ev.b, ev.pi != 0)
+	case evTrapArrive:
+		s.trapArrive(ev.a, ev.b, ev.pi != 0)
+	case evSMSweep:
+		s.smSweep()
+	case evSMPArrive:
+		s.smpArrive(int(ev.a))
+	case evSMPAck:
+		s.smpAck(int(ev.a))
+	case evSMPTimeout:
+		s.smpTimeout(int(ev.a), ev.b)
 	default:
 		s.fail(fmt.Errorf("sim: unknown event kind %d (engine bug)", ev.kind))
 	}
@@ -1200,6 +1230,7 @@ func (s *Sim) seriesBin(t Time) int {
 		s.seriesReroutes = append(s.seriesReroutes, 0)
 		s.seriesRexmit = append(s.seriesRexmit, 0)
 		s.seriesFailed = append(s.seriesFailed, 0)
+		s.seriesUnreachable = append(s.seriesUnreachable, 0)
 	}
 	return bin
 }

@@ -310,20 +310,36 @@ func (s *Sim) txTrack(node int32, p *pkt) {
 }
 
 // armTimer (re)schedules the flow's retransmit timer for its current head,
-// invalidating any previously scheduled one.
+// invalidating any previously scheduled one. The timer carries its drain
+// classification (pi): whether the in-band SM considered the destination
+// unreachable when the timer armed. Like the head's attempt count, the flag
+// is frozen between arming and firing — a verdict change takes effect at the
+// next re-arm — so the sharded engine can route drain timers to the
+// coordinator at scheduling time and both engines degrade identically.
 func (s *Sim) armTimer(idx int32, f *txFlow) {
 	f.timerGen++
 	at := s.now + s.transport.cfg.timeout(f.unacked[0].attempts)
-	s.schedule(at, event{kind: evRexmit, a: idx, b: int32(f.timerGen)})
+	var drain int32
+	if ib := s.faults.inband; ib != nil && ib.unreachable != nil && ib.unreachable[idx] != 0 {
+		drain = 1
+	}
+	s.schedule(at, event{kind: evRexmit, a: idx, b: int32(f.timerGen), pi: drain})
 }
 
 // rexmitTimer fires a flow's retransmit timer: retransmit the oldest
 // unacknowledged packet, or — budget exhausted — count it Failed and move on.
-func (s *Sim) rexmitTimer(idx int32, gen int32) {
+// A timer armed while the SM declared the destination unreachable instead
+// drains the flow's backlog into UnreachableDegraded (graceful degradation:
+// no retry burned on a provably dead pair).
+func (s *Sim) rexmitTimer(idx int32, gen int32, drain bool) {
 	t := s.transport
 	f := &t.tx[idx]
 	if int32(f.timerGen) != gen || len(f.unacked) == 0 {
 		return // stale: the flow re-armed or fully drained since scheduling
+	}
+	if drain {
+		s.drainUnreachable(idx, f)
+		return
 	}
 	head := &f.unacked[0]
 	if int(head.attempts) >= t.cfg.MaxRetries {

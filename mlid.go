@@ -342,6 +342,14 @@ type (
 	// (SimConfig.Transport): PSN sequencing, ACK/NAK on a management VL,
 	// and timeout retransmission with exponential backoff.
 	TransportConfig = sim.TransportConfig
+	// InBandSMConfig (FaultPlan.InBandSM) replaces the oracle subnet
+	// manager with an in-band one: traps and LFT-update SMPs travel the
+	// management VL through the live forwarding tables (and are lost when
+	// their path crosses a dead link), a periodic sweep diffs discovered
+	// port state against the SM's view, SMP transactions retry with capped
+	// exponential backoff, a standby SM takes over when the master's
+	// attachment dies, and unreachable partitions degrade gracefully.
+	InBandSMConfig = sim.InBandSMConfig
 )
 
 // Batch (closed-workload) simulation types.
@@ -438,6 +446,10 @@ func FormatRecovery(rows []EvalRecoveryRow) string { return experiment.FormatRec
 // RecoveryCSV renders recovery rows in long form.
 func RecoveryCSV(rows []EvalRecoveryRow) string { return experiment.RecoveryCSV(rows) }
 
+// RecoverySeriesCSV renders every recovery row's per-interval transient —
+// the recovery-tail curves — in long form.
+func RecoverySeriesCSV(rows []EvalRecoveryRow) string { return experiment.RecoverySeriesCSV(rows) }
+
 // Chaos-campaign types: seeded link-flap and switch-kill schedules run with
 // the reliable transport on, SLID versus MLID on identical schedules (see
 // SimConfig.Transport and EXPERIMENTS.md).
@@ -532,6 +544,39 @@ func FormatDegraded(rows []EvalDegradedRow) string { return experiment.FormatDeg
 
 // DegradedCSV renders degraded rows in long form.
 func DegradedCSV(rows []EvalDegradedRow) string { return experiment.DegradedCSV(rows) }
+
+// In-band subnet-management study types: the same fault schedule — a spine
+// link loss, then an outage of the master SM's own switch — replayed under
+// the oracle SM and the in-band SM at increasing trap-loss rates, per
+// routing scheme (see FaultPlan.InBandSM and EXPERIMENTS.md).
+type (
+	// EvalSMSpec configures the in-band SM study.
+	EvalSMSpec = experiment.SMSpec
+	// EvalSMRow is one (scheme, SM mode) outcome of the study.
+	EvalSMRow = experiment.SMRow
+)
+
+// EvalSMSpecDefault returns the full-fidelity in-band SM study spec.
+func EvalSMSpecDefault() EvalSMSpec { return experiment.SMStudySpec() }
+
+// EvalSMSpecQuick returns the reduced-cost in-band SM study spec.
+func EvalSMSpecQuick() EvalSMSpec { return experiment.QuickSMSpec() }
+
+// EvalSMStudy runs the in-band SM study and enforces its invariants on
+// every run: exact packet conservation (generated = delivered + failed +
+// unreachable-degraded + in-flight), one sticky failover per in-band run,
+// and sweep-driven recovery of the traps the master outage silenced.
+func EvalSMStudy(spec EvalSMSpec) ([]EvalSMRow, error) { return experiment.SMStudy(spec) }
+
+// FormatSM renders in-band SM study rows as a markdown table.
+func FormatSM(rows []EvalSMRow) string { return experiment.FormatSM(rows) }
+
+// SMCSV renders in-band SM study rows in long form.
+func SMCSV(rows []EvalSMRow) string { return experiment.SMCSV(rows) }
+
+// SMSeriesCSV renders every SM study row's per-interval recovery tail in
+// long form.
+func SMSeriesCSV(rows []EvalSMRow) string { return experiment.SMSeriesCSV(rows) }
 
 // Observation is one of the paper's evaluation claims checked against
 // measured figures.
