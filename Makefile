@@ -98,9 +98,10 @@ ci: build vet lint test race soak shard-smoke verify-smoke adaptive-smoke sm-smo
 BENCH_TIME ?= 1x
 BENCH_COUNT ?= 1
 
-# bench regenerates the figure-level benchmarks with allocation counts.
+# bench regenerates the figure-level benchmarks with allocation counts, plus
+# the control-plane repair benchmarks (incremental repair and SM recovery).
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkFig' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) .
+	$(GO) test -run xxx -bench 'BenchmarkFig|BenchmarkRepairIncremental|BenchmarkSMRecovery' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) .
 
 # bench-json runs the figure benchmarks and records ns/op and allocs/op as
 # committed JSON (BENCH_$(BENCH_PR).json), so perf gates diff against a file
@@ -108,9 +109,9 @@ bench:
 # and the shard count per entry, so files are comparable across machines. The
 # raw text lands in bench.out for inspection; only the JSON is meant to be
 # committed.
-BENCH_PR ?= 6
+BENCH_PR ?= 10
 bench-json:
-	$(GO) test -run xxx -bench 'BenchmarkFig' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) . | tee bench.out
+	$(GO) test -run xxx -bench 'BenchmarkFig|BenchmarkRepairIncremental|BenchmarkSMRecovery' -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) . | tee bench.out
 	$(GO) run ./cmd/benchjson < bench.out > BENCH_$(BENCH_PR).json
 	@rm -f bench.out
 	@echo wrote BENCH_$(BENCH_PR).json

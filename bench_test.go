@@ -411,6 +411,127 @@ func BenchmarkRepairSubnet(b *testing.B) {
 	}
 }
 
+// BenchmarkRepairIncremental measures the steady-state control-plane repair
+// path: a persistent RepairState absorbing one link failure and its revival
+// per iteration. Work is proportional to the dirtied switches' candidate
+// entries (via the configure-time port-to-LIDs reverse index), not to the
+// LID space — compare BenchmarkRepairSubnet's full scan.
+func BenchmarkRepairIncremental(b *testing.B) {
+	for _, net := range [][2]int{{8, 3}, {16, 2}, {32, 2}} {
+		m, n := net[0], net[1]
+		b.Run(fmt.Sprintf("%d-port_%d-tree", m, n), func(b *testing.B) {
+			tree, err := mlid.NewTree(m, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sn, err := mlid.Configure(tree, mlid.MLID())
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := mlid.NewRepairState(sn)
+			leaf, _ := tree.NodeAttachment(0)
+			down := [][2]int32{{int32(leaf), int32(tree.H())}}
+			fs := mlid.NewFaultSet()
+			fs.FailLink(tree, leaf, tree.H())
+			none := mlid.NewFaultSet()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.RepairIncremental(fs, st.DirtySwitches(nil, down)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := st.RepairIncremental(none, st.DirtySwitches(down, nil)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSMRecovery measures trap-to-staged-delta latency over a realistic
+// SM episode: eight traps arrive one by one (each growing the dead-link
+// set), then the links revive. The incremental variant is the simulator's
+// live path — a persistent RepairState evolved per trap; fullscan replicates
+// the pre-incremental algorithm (clone every table, repair from scratch,
+// diff the whole LID space against the previous shadow), the O(switches x
+// LID-space) cost the rewrite removed.
+func BenchmarkSMRecovery(b *testing.B) {
+	for _, net := range [][2]int{{8, 3}, {16, 2}, {32, 2}} {
+		m, n := net[0], net[1]
+		tree, err := mlid.NewTree(m, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sn, err := mlid.Configure(tree, mlid.MLID())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Eight links on distinct leaves, failed cumulatively, then all
+		// revived: the dead-set views one episode steps through.
+		links := make([][2]int32, 8)
+		stride := tree.Nodes() / 8
+		for i := range links {
+			leaf, _ := tree.NodeAttachment(mlid.NodeID(i * stride))
+			links[i] = [2]int32{int32(leaf), int32(tree.H())}
+		}
+		views := make([][][2]int32, 0, len(links)+1)
+		for i := 1; i <= len(links); i++ {
+			views = append(views, links[:i])
+		}
+		views = append(views, nil)
+		faultsOf := func(view [][2]int32) *mlid.FaultSet {
+			fs := mlid.NewFaultSet()
+			for _, e := range view {
+				fs.FailLink(tree, mlid.SwitchID(e[0]), int(e[1]))
+			}
+			return fs
+		}
+		name := fmt.Sprintf("%d-port_%d-tree", m, n)
+		b.Run(name+"/incremental", func(b *testing.B) {
+			st := mlid.NewRepairState(sn)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var prev [][2]int32
+				for _, view := range views {
+					if _, err := st.RepairIncremental(faultsOf(view), st.DirtySwitches(prev, view)); err != nil {
+						b.Fatal(err)
+					}
+					prev = view
+				}
+			}
+		})
+		b.Run(name+"/fullscan", func(b *testing.B) {
+			diffs := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				shadow := make([]*mlid.LFT, len(sn.LFTs))
+				copy(shadow, sn.LFTs)
+				for _, view := range views {
+					work := &mlid.Subnet{Tree: sn.Tree, Engine: sn.Engine, Endports: sn.Endports,
+						LFTs: make([]*mlid.LFT, len(sn.LFTs))}
+					for s, l := range sn.LFTs {
+						work.LFTs[s] = l.Clone()
+					}
+					if _, _, err := mlid.RepairSubnet(work, faultsOf(view)); err != nil {
+						b.Fatal(err)
+					}
+					for s, l := range work.LFTs {
+						old := shadow[s]
+						for lid := 1; lid < l.Size(); lid++ {
+							if old.Port(mlid.LID(lid)) != l.Port(mlid.LID(lid)) {
+								diffs++
+							}
+						}
+					}
+					shadow = work.LFTs
+				}
+			}
+			if diffs < 0 {
+				b.Fatal("impossible")
+			}
+		})
+	}
+}
+
 // BenchmarkBatchGather measures the all-to-one collective's makespan per
 // scheme — the paper's congestion scenario as a closed workload.
 func BenchmarkBatchGather(b *testing.B) {

@@ -47,6 +47,7 @@ func main() {
 		smstudy  = flag.Bool("smstudy", false, "run the in-band subnet-management study: oracle vs in-band SM across trap-loss rates and routing schemes, with a master-SM outage forcing standby failover")
 		series   = flag.Bool("series", false, "with -fault or -smstudy and -csv, also write the per-interval recovery-tail curves (delivered/dropped/retransmits/failed/unreachable per bin)")
 		quick    = flag.Bool("quick", false, "reduced load points and windows")
+		net      = flag.String("net", "", "override the study network as MxN (e.g. 32x2 = 32-port 2-tree); applies to -fault, -chaos, -degraded, -adaptive and -smstudy")
 		shards   = flag.Int("shards", 0, "parallel shards per simulation run; 0 = min(GOMAXPROCS, leaf groups) per network, 1 = the single-engine path; results are identical for every value")
 		chart    = flag.Bool("chart", false, "render ASCII charts to stdout")
 		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files into")
@@ -54,6 +55,15 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile after the sweeps to this file")
 	)
 	flag.Parse()
+
+	var netOverride *mlid.EvalNetwork
+	if *net != "" {
+		var m, n int
+		if k, err := fmt.Sscanf(*net, "%dx%d", &m, &n); err != nil || k != 2 {
+			fatal(fmt.Errorf("-net %q: want MxN, e.g. 32x2", *net))
+		}
+		netOverride = &mlid.EvalNetwork{M: m, N: n}
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -84,6 +94,9 @@ func main() {
 		if *quick {
 			spec = mlid.EvalRecoverySpecQuick()
 		}
+		if netOverride != nil {
+			spec.Network = *netOverride
+		}
 		spec.Shards = *shards
 		fmt.Printf("recovery transient: %s, link down at %d ns, uniform load %.2f B/ns/node\n",
 			spec.Network, spec.FaultNs, spec.OfferedLoad)
@@ -108,6 +121,9 @@ func main() {
 		if *quick {
 			spec = mlid.EvalChaosSpecQuick()
 		}
+		if netOverride != nil {
+			spec.Network = *netOverride
+		}
 		spec.Shards = *shards
 		fmt.Printf("chaos campaign: %s, fault rates %v, outages %d-%d ns, %d switch kill(s), seed %d\n",
 			spec.Network, spec.FaultRates, spec.MinDownNs, spec.MaxDownNs, spec.SwitchKills, spec.Seed)
@@ -126,6 +142,9 @@ func main() {
 		spec := mlid.EvalDegradedSpecDefault()
 		if *quick {
 			spec = mlid.EvalDegradedSpecQuick()
+		}
+		if netOverride != nil {
+			spec.Network = *netOverride
 		}
 		spec.Shards = *shards
 		fmt.Printf("degraded fabric: %s, fault rates %v, uniform load %.2f B/ns/node, seed %d\n",
@@ -148,6 +167,9 @@ func main() {
 		if *quick {
 			spec = mlid.EvalAdaptiveSpecQuick()
 		}
+		if netOverride != nil {
+			spec.Network = *netOverride
+		}
 		spec.Shards = *shards
 		fmt.Printf("path-selection family: %s, load %.2f B/ns/node, fault rate %.2f, seed %d\n",
 			spec.Network, spec.OfferedLoad, spec.FaultRate, spec.Seed)
@@ -166,6 +188,9 @@ func main() {
 		spec := mlid.EvalSMSpecDefault()
 		if *quick {
 			spec = mlid.EvalSMSpecQuick()
+		}
+		if netOverride != nil {
+			spec.Network = *netOverride
 		}
 		spec.Shards = *shards
 		fmt.Printf("in-band subnet management: %s, trap-loss rates %v, sweep every %d ns, master-SM outage %d-%d ns, seed %d\n",

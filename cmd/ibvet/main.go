@@ -33,6 +33,7 @@ import (
 	"mlid/internal/lint/selectorpure"
 	"mlid/internal/lint/shardsafe"
 	"mlid/internal/lint/simdeterminism"
+	"mlid/internal/lint/smhotpath"
 )
 
 // analyzers is the ibvet suite. Order is display order in -list.
@@ -42,6 +43,7 @@ var analyzers = []*analysis.Analyzer{
 	maporder.Analyzer,
 	pktpool.Analyzer,
 	hotpath.Analyzer,
+	smhotpath.Analyzer,
 	selectorpure.Analyzer,
 	goldendrift.Analyzer,
 	findingfmt.Analyzer,

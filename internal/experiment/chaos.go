@@ -206,70 +206,83 @@ func ChaosStudy(spec ChaosSpec) ([]ChaosRow, error) {
 		return nil, err
 	}
 	shards := ResolveShards(tr, spec.Shards)
-	rows := make([]ChaosRow, 0, 2*len(spec.FaultRates))
+	// One schedule per rate, shared by both schemes; one pristine
+	// configuration per scheme, shared read-only by every rate (chaos runs
+	// always carry a FaultPlan, so the simulator clones the tables).
+	plans := make([]*sim.FaultPlan, len(spec.FaultRates))
 	for ri, rate := range spec.FaultRates {
 		if rate <= 0 || rate > 1 {
 			return nil, fmt.Errorf("experiment: chaos fault rate %v out of (0, 1]", rate)
 		}
-		// One schedule per rate, shared by both schemes.
 		rng := rand.New(rand.NewSource(spec.Seed*7919 + int64(ri)))
-		plan := chaosPlan(tr, spec, rate, rng)
-		for _, scheme := range []core.Scheme{core.NewSLID(), core.NewMLID()} {
-			sn, err := (&ib.SubnetManager{Tree: tr, Engine: scheme}).Configure()
-			if err != nil {
-				return nil, fmt.Errorf("experiment: %s on %s: %w", scheme.Name(), spec.Network, err)
-			}
-			tc := spec.Transport
-			res, err := sim.Run(sim.Config{
-				Subnet:           sn,
-				Pattern:          traffic.Uniform{Nodes: tr.Nodes()},
-				DataVLs:          spec.DataVLs,
-				OfferedLoad:      spec.OfferedLoad,
-				WarmupNs:         spec.WarmupNs,
-				MeasureNs:        spec.MeasureNs,
-				SeriesIntervalNs: spec.SeriesIntervalNs,
-				FaultPlan:        plan,
-				Transport:        &tc,
-				// Statically verify the forwarding tables at every SM epoch
-				// of every campaign: a chaos schedule that drives the repair
-				// logic into a loop, credit-cycle, or unexplained dead end
-				// fails the study instead of silently dropping packets.
-				VerifyEpochs:      true,
-				Shards:            shards,
-				Seed:              spec.Seed + int64(ri),
-				HeapOnlyScheduler: spec.HeapOnlyScheduler,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiment: chaos run %s rate %v: %w", scheme.Name(), rate, err)
-			}
-			if got := res.TotalDelivered + res.Failed + res.InFlightAtEnd; got != res.TotalGenerated {
-				return nil, fmt.Errorf(
-					"experiment: chaos conservation violated (%s rate %v): delivered %d + failed %d + in-flight %d != generated %d",
-					scheme.Name(), rate, res.TotalDelivered, res.Failed, res.InFlightAtEnd, res.TotalGenerated)
-			}
-			rows = append(rows, ChaosRow{
-				Scheme:          scheme.Name(),
-				FaultRate:       rate,
-				Flaps:           len(plan.Faults),
-				SwitchKills:     len(plan.SwitchFaults),
-				Generated:       res.TotalGenerated,
-				Delivered:       res.TotalDelivered,
-				Failed:          res.Failed,
-				InFlight:        res.InFlightAtEnd,
-				Retransmits:     res.Retransmits,
-				Dropped:         res.DroppedTotal,
-				DupDeliveries:   res.DupDeliveries,
-				AcksSent:        res.AcksSent,
-				NaksSent:        res.NaksSent,
-				CtrlBytes:       res.CtrlBytesSent,
-				MeanLatencyNs:   res.MeanLatencyNs,
-				P99LatencyNs:    res.P99LatencyNs,
-				P999LatencyNs:   res.P999LatencyNs,
-				LastRecoveredNs: res.LastRecoveredNs,
-			})
-		}
+		plans[ri] = chaosPlan(tr, spec, rate, rng)
 	}
-	return rows, nil
+	schemes := []core.Scheme{core.NewSLID(), core.NewMLID()}
+	pristine := make([]*ib.Subnet, len(schemes))
+	for i, scheme := range schemes {
+		sn, err := (&ib.SubnetManager{Tree: tr, Engine: scheme}).Configure()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s on %s: %w", scheme.Name(), spec.Network, err)
+		}
+		pristine[i] = sn
+	}
+
+	// One sweep point per (rate, scheme), rate-major — the serial row order.
+	points := len(spec.FaultRates) * len(schemes)
+	return campaignRun(points, campaignWorkers(points), func(pt int) (ChaosRow, error) {
+		ri := pt / len(schemes)
+		rate := spec.FaultRates[ri]
+		plan := plans[ri]
+		scheme := schemes[pt%len(schemes)]
+		tc := spec.Transport
+		res, err := sim.Run(sim.Config{
+			Subnet:           pristine[pt%len(schemes)],
+			Pattern:          traffic.Uniform{Nodes: tr.Nodes()},
+			DataVLs:          spec.DataVLs,
+			OfferedLoad:      spec.OfferedLoad,
+			WarmupNs:         spec.WarmupNs,
+			MeasureNs:        spec.MeasureNs,
+			SeriesIntervalNs: spec.SeriesIntervalNs,
+			FaultPlan:        plan,
+			Transport:        &tc,
+			// Statically verify the forwarding tables at every SM epoch
+			// of every campaign: a chaos schedule that drives the repair
+			// logic into a loop, credit-cycle, or unexplained dead end
+			// fails the study instead of silently dropping packets.
+			VerifyEpochs:      true,
+			Shards:            shards,
+			Seed:              spec.Seed + int64(ri),
+			HeapOnlyScheduler: spec.HeapOnlyScheduler,
+		})
+		if err != nil {
+			return ChaosRow{}, fmt.Errorf("experiment: chaos run %s rate %v: %w", scheme.Name(), rate, err)
+		}
+		if got := res.TotalDelivered + res.Failed + res.InFlightAtEnd; got != res.TotalGenerated {
+			return ChaosRow{}, fmt.Errorf(
+				"experiment: chaos conservation violated (%s rate %v): delivered %d + failed %d + in-flight %d != generated %d",
+				scheme.Name(), rate, res.TotalDelivered, res.Failed, res.InFlightAtEnd, res.TotalGenerated)
+		}
+		return ChaosRow{
+			Scheme:          scheme.Name(),
+			FaultRate:       rate,
+			Flaps:           len(plan.Faults),
+			SwitchKills:     len(plan.SwitchFaults),
+			Generated:       res.TotalGenerated,
+			Delivered:       res.TotalDelivered,
+			Failed:          res.Failed,
+			InFlight:        res.InFlightAtEnd,
+			Retransmits:     res.Retransmits,
+			Dropped:         res.DroppedTotal,
+			DupDeliveries:   res.DupDeliveries,
+			AcksSent:        res.AcksSent,
+			NaksSent:        res.NaksSent,
+			CtrlBytes:       res.CtrlBytesSent,
+			MeanLatencyNs:   res.MeanLatencyNs,
+			P99LatencyNs:    res.P99LatencyNs,
+			P999LatencyNs:   res.P999LatencyNs,
+			LastRecoveredNs: res.LastRecoveredNs,
+		}, nil
+	})
 }
 
 // FormatChaos renders the chaos rows as a markdown table.

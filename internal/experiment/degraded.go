@@ -249,100 +249,110 @@ func DegradedStudy(spec DegradedSpec) ([]DegradedRow, error) {
 		scenarios = append(scenarios, sc)
 	}
 
-	rows := make([]DegradedRow, 0, 2*len(scenarios))
-	for _, sc := range scenarios {
+	// One pristine configuration per (tree, scheme), shared copy-on-write by
+	// every scenario: offline repairs mutate a cloneSubnetLFTs working copy,
+	// and the simulator clones the tables itself under a FaultPlan, so the
+	// pristine subnets are only ever read concurrently.
+	schemes := []core.Scheme{core.NewSLID(), core.NewMLID()}
+	pristine := make([]*ib.Subnet, len(schemes))
+	for i, scheme := range schemes {
+		sn, err := (&ib.SubnetManager{Tree: tr, Engine: scheme}).Configure()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s on %s: %w", scheme.Name(), spec.Network, err)
+		}
+		pristine[i] = sn
+	}
+
+	// One sweep point per (scenario, scheme), scenario-major — the serial
+	// row order — executed on the campaign worker pool.
+	points := len(scenarios) * len(schemes)
+	return campaignRun(points, campaignWorkers(points), func(pt int) (DegradedRow, error) {
+		sc := scenarios[pt/len(schemes)]
+		scheme := schemes[pt%len(schemes)]
 		fs := core.NewFaultSet()
 		for _, l := range sc.links {
 			fs.FailLink(tr, topology.SwitchID(l[0]), int(l[1]))
 		}
 		rate, links, plan := sc.rate, sc.links, sc.plan
-		for _, scheme := range []core.Scheme{core.NewSLID(), core.NewMLID()} {
-			sn, err := (&ib.SubnetManager{Tree: tr, Engine: scheme}).Configure()
-			if err != nil {
-				return nil, fmt.Errorf("experiment: %s on %s: %w", scheme.Name(), spec.Network, err)
-			}
-			row := DegradedRow{
-				Scheme: scheme.Name(),
-				Axis:   sc.axis, Rate: rate, SwitchesOut: sc.switchesOut,
-				FailedLinks: len(links),
-			}
-
-			// Static view: repair a fresh configuration offline and run the
-			// verifier's quality pass over it, with fault-avoiding source
-			// selection standing in for what reselection does live.
-			_, broken, err := core.RepairSubnet(sn, fs)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: degraded repair %s at %s: %w", scheme.Name(), sc.label, err)
-			}
-			row.BrokenEntries = len(broken)
-			in := verify.Input{
-				Tree:      tr,
-				Endports:  sn.Endports,
-				LFTs:      sn.LFTs,
-				Engine:    scheme,
-				DeadLinks: links,
-				SelectDLID: func(src, dst topology.NodeID) (ib.LID, bool) {
-					lid, _, ok := core.SelectDLID(tr, scheme, src, dst, fs)
-					return lid, ok
-				},
-			}
-			rep, err := verify.Run(in, verify.Options{VLs: spec.DataVLs})
-			if err != nil {
-				return nil, fmt.Errorf("experiment: degraded verify %s at %s: %w", scheme.Name(), sc.label, err)
-			}
-			if n := rep.Errors(); n > 0 {
-				return nil, fmt.Errorf("experiment: degraded verify %s at %s: %d error finding(s); first: %s",
-					scheme.Name(), sc.label, n, firstError(rep))
-			}
-			row.StaticWarnings = rep.Warnings()
-			if len(rep.Stats.Quality) == 0 {
-				return nil, fmt.Errorf("experiment: degraded verify %s at %s: no quality report", scheme.Name(), sc.label)
-			}
-			q := rep.Stats.Quality[0] // the all-to-all matrix
-			row.StaticMaxLoad = q.MaxLoad
-			row.StaticMeanLoad = q.MeanLoad
-			row.StaticMeanDilation = q.MeanDilation
-			row.StaticUnrouted = q.Unrouted
-			if q.Flows > 0 {
-				row.StaticServedFrac = float64(q.Flows-q.Unrouted) / float64(q.Flows)
-			}
-			perFlow := spec.OfferedLoad / float64(tr.Nodes()-1)
-			scale := 1.0
-			if demand := q.MaxLoad * perFlow; demand > 1 {
-				scale = 1 / demand
-			}
-			row.StaticPredictedAccepted = spec.OfferedLoad * row.StaticServedFrac * scale
-
-			// Dynamic view: the same outage simulated end to end. The subnet
-			// was mutated by the offline repair above, so configure afresh.
-			snRun, err := (&ib.SubnetManager{Tree: tr, Engine: scheme}).Configure()
-			if err != nil {
-				return nil, fmt.Errorf("experiment: %s on %s: %w", scheme.Name(), spec.Network, err)
-			}
-			res, err := sim.Run(sim.Config{
-				Subnet:       snRun,
-				Pattern:      traffic.Uniform{Nodes: tr.Nodes()},
-				DataVLs:      spec.DataVLs,
-				OfferedLoad:  spec.OfferedLoad,
-				WarmupNs:     spec.WarmupNs,
-				MeasureNs:    spec.MeasureNs,
-				FaultPlan:    plan,
-				VerifyEpochs: true,
-				Shards:       shards,
-				Seed:         sc.seed,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiment: degraded run %s at %s: %w", scheme.Name(), sc.label, err)
-			}
-			row.Accepted = res.Accepted
-			row.DroppedWindow = res.DroppedWindow
-			row.Reroutes = res.Reroutes
-			row.MeanLatencyNs = res.MeanLatencyNs
-			row.VerifiedEpochs = res.VerifiedEpochs
-			rows = append(rows, row)
+		row := DegradedRow{
+			Scheme: scheme.Name(),
+			Axis:   sc.axis, Rate: rate, SwitchesOut: sc.switchesOut,
+			FailedLinks: len(links),
 		}
-	}
-	return rows, nil
+
+		// Static view: repair a working copy of the pristine configuration
+		// offline and run the verifier's quality pass over it, with
+		// fault-avoiding source selection standing in for what reselection
+		// does live.
+		sn := cloneSubnetLFTs(pristine[pt%len(schemes)])
+		_, broken, err := core.RepairSubnet(sn, fs)
+		if err != nil {
+			return row, fmt.Errorf("experiment: degraded repair %s at %s: %w", scheme.Name(), sc.label, err)
+		}
+		row.BrokenEntries = len(broken)
+		in := verify.Input{
+			Tree:      tr,
+			Endports:  sn.Endports,
+			LFTs:      sn.LFTs,
+			Engine:    scheme,
+			DeadLinks: links,
+			SelectDLID: func(src, dst topology.NodeID) (ib.LID, bool) {
+				lid, _, ok := core.SelectDLID(tr, scheme, src, dst, fs)
+				return lid, ok
+			},
+		}
+		rep, err := verify.Run(in, verify.Options{VLs: spec.DataVLs, Parallelism: campaignWorkers(tr.Switches())})
+		if err != nil {
+			return row, fmt.Errorf("experiment: degraded verify %s at %s: %w", scheme.Name(), sc.label, err)
+		}
+		if n := rep.Errors(); n > 0 {
+			return row, fmt.Errorf("experiment: degraded verify %s at %s: %d error finding(s); first: %s",
+				scheme.Name(), sc.label, n, firstError(rep))
+		}
+		row.StaticWarnings = rep.Warnings()
+		if len(rep.Stats.Quality) == 0 {
+			return row, fmt.Errorf("experiment: degraded verify %s at %s: no quality report", scheme.Name(), sc.label)
+		}
+		q := rep.Stats.Quality[0] // the all-to-all matrix
+		row.StaticMaxLoad = q.MaxLoad
+		row.StaticMeanLoad = q.MeanLoad
+		row.StaticMeanDilation = q.MeanDilation
+		row.StaticUnrouted = q.Unrouted
+		if q.Flows > 0 {
+			row.StaticServedFrac = float64(q.Flows-q.Unrouted) / float64(q.Flows)
+		}
+		perFlow := spec.OfferedLoad / float64(tr.Nodes()-1)
+		scale := 1.0
+		if demand := q.MaxLoad * perFlow; demand > 1 {
+			scale = 1 / demand
+		}
+		row.StaticPredictedAccepted = spec.OfferedLoad * row.StaticServedFrac * scale
+
+		// Dynamic view: the same outage simulated end to end, straight off
+		// the shared pristine subnet (the simulator's fault path clones the
+		// tables before mutating them).
+		res, err := sim.Run(sim.Config{
+			Subnet:       pristine[pt%len(schemes)],
+			Pattern:      traffic.Uniform{Nodes: tr.Nodes()},
+			DataVLs:      spec.DataVLs,
+			OfferedLoad:  spec.OfferedLoad,
+			WarmupNs:     spec.WarmupNs,
+			MeasureNs:    spec.MeasureNs,
+			FaultPlan:    plan,
+			VerifyEpochs: true,
+			Shards:       shards,
+			Seed:         sc.seed,
+		})
+		if err != nil {
+			return row, fmt.Errorf("experiment: degraded run %s at %s: %w", scheme.Name(), sc.label, err)
+		}
+		row.Accepted = res.Accepted
+		row.DroppedWindow = res.DroppedWindow
+		row.Reroutes = res.Reroutes
+		row.MeanLatencyNs = res.MeanLatencyNs
+		row.VerifiedEpochs = res.VerifiedEpochs
+		return row, nil
+	})
 }
 
 // firstError returns the first error-severity finding's rendering.

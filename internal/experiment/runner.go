@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+
+	"mlid/internal/ib"
+)
+
+// Campaign runner: the sweep studies (-degraded, -smstudy, -chaos,
+// -recovery) are lists of independent sweep points — (scenario, scheme) or
+// (scheme, mode) cells — whose outputs must not depend on execution order.
+// campaignRun executes the points on a bounded worker pool with
+// point-indexed result assembly, the same determinism contract as
+// FigureSpec.Run's replica slots: every point writes only results[i], rows
+// come out in serial-loop order, and the first error by point index is
+// returned, so serial (workers=1) and parallel runs are byte-identical.
+
+// campaignWorkerCap, when positive, bounds every campaign pool. Tests use it
+// to force the serial path and prove serial/parallel byte-identity.
+var campaignWorkerCap int
+
+// campaignWorkers is the default pool size for a campaign of n points.
+func campaignWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if campaignWorkerCap > 0 && w > campaignWorkerCap {
+		w = campaignWorkerCap
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// campaignRun executes fn(0..n-1) on workers goroutines and returns the
+// results in point order. Every point runs to completion even when an
+// earlier one fails (they are independent by contract); the error returned
+// is the lowest-indexed one, matching what a serial loop would surface.
+func campaignRun[R any](n, workers int, fn func(i int) (R, error)) ([]R, error) {
+	results := make([]R, n)
+	errs := make([]error, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					results[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// cloneSubnetLFTs makes a copy-on-write working copy of a pristine
+// configuration: the tree, engine, and endport plan are shared (read-only),
+// only the forwarding tables are deep-copied. This is what lets one
+// Configure per (tree, scheme) back every sweep scenario — offline repairs
+// mutate the clone, simulations clone again internally under a FaultPlan.
+func cloneSubnetLFTs(sn *ib.Subnet) *ib.Subnet {
+	out := &ib.Subnet{
+		Tree:     sn.Tree,
+		Engine:   sn.Engine,
+		Endports: sn.Endports,
+		LFTs:     make([]*ib.LFT, len(sn.LFTs)),
+	}
+	for i, lft := range sn.LFTs {
+		out.LFTs[i] = lft.Clone()
+	}
+	return out
+}

@@ -155,70 +155,81 @@ func SMStudy(spec SMSpec) ([]SMRow, error) {
 		modes = append(modes, mode{"inband", p})
 	}
 
-	rows := make([]SMRow, 0, len(smSchemes())*len(modes))
-	for _, sc := range smSchemes() {
-		for mi, md := range modes {
-			sn, err := (&ib.SubnetManager{Tree: tr, Engine: sc.scheme()}).Configure()
-			if err != nil {
-				return nil, fmt.Errorf("experiment: %s on %s: %w", sc.label, spec.Network, err)
-			}
-			plan := &sim.FaultPlan{
-				Faults: []sim.LinkFault{
-					{Switch: int32(victimLeaf), Port: tr.DownPorts(victimLeaf), DownNs: spec.LinkFaultNs},
-				},
-				SwitchFaults: []sim.SwitchFault{
-					{Switch: int32(masterLeaf), DownNs: spec.SMDownNs, UpNs: spec.SMUpNs},
-				},
-				Reselect: true,
-			}
-			if md.name == "inband" {
-				plan.InBandSM = &sim.InBandSMConfig{
-					SweepIntervalNs: spec.SweepIntervalNs,
-					TrapLossProb:    md.prob,
-				}
-			}
-			res, err := sim.Run(sim.Config{
-				Subnet:           sn,
-				Pattern:          traffic.Uniform{Nodes: tr.Nodes()},
-				DataVLs:          spec.DataVLs,
-				OfferedLoad:      spec.OfferedLoad,
-				WarmupNs:         spec.WarmupNs,
-				MeasureNs:        spec.MeasureNs,
-				SeriesIntervalNs: spec.SeriesIntervalNs,
-				PathSelect:       sc.sel,
-				FaultPlan:        plan,
-				Transport:        &sim.TransportConfig{BaseTimeoutNs: 5_000, MaxRetries: 3, MaxTimeoutNs: 20_000},
-				VerifyEpochs:     spec.VerifyEpochs,
-				Shards:           shards,
-				Seed:             spec.Seed + int64(mi),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiment: sm run %s/%s p=%v: %w", sc.label, md.name, md.prob, err)
-			}
-			if err := smInvariants(sc.label, md.name, md.prob, res); err != nil {
-				return nil, err
-			}
-			row := SMRow{
-				Scheme: sc.label, Mode: md.name, TrapLossProb: md.prob,
-				TrapsSent: res.TrapsSent, TrapsLost: res.TrapsLost, TrapsDelivered: res.TrapsDelivered,
-				SMSweeps: res.SMSweeps, SweepDetections: res.SweepDetections,
-				SMPsSent: res.SMPsSent, SMPRetries: res.SMPRetries, SMPFailed: res.SMPFailed,
-				Failovers: res.Failovers, PartitionEvents: res.PartitionEvents,
-				UnreachableDegraded: res.UnreachableDegraded, Failed: res.Failed,
-				LFTUpdates: res.LFTUpdates, RecoveryNs: res.RecoveryNs,
-				Series: res.Series,
-			}
-			// Windowed accepted rates: before the link fault, during the
-			// master-SM outage, and after revival plus two sweeps of settling.
-			postFrom := spec.SMUpNs + 2*spec.SweepIntervalNs
-			end := spec.WarmupNs + spec.MeasureNs
-			row.PreAccepted = meanAccepted(res.Series, spec.WarmupNs, spec.LinkFaultNs)
-			row.OutageAccepted = meanAccepted(res.Series, spec.SMDownNs, spec.SMUpNs)
-			row.PostAccepted = meanAccepted(res.Series, postFrom, end)
-			rows = append(rows, row)
+	// One pristine configuration per routing scheme, shared read-only by all
+	// of that scheme's modes (every run carries a FaultPlan, so the
+	// simulator clones the tables itself).
+	schemes := smSchemes()
+	pristine := make([]*ib.Subnet, len(schemes))
+	for i, sc := range schemes {
+		sn, err := (&ib.SubnetManager{Tree: tr, Engine: sc.scheme()}).Configure()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s on %s: %w", sc.label, spec.Network, err)
 		}
+		pristine[i] = sn
 	}
-	return rows, nil
+
+	// One sweep point per (scheme, mode), scheme-major — the serial row
+	// order — executed on the campaign worker pool.
+	points := len(schemes) * len(modes)
+	return campaignRun(points, campaignWorkers(points), func(pt int) (SMRow, error) {
+		sc := schemes[pt/len(modes)]
+		mi := pt % len(modes)
+		md := modes[mi]
+		plan := &sim.FaultPlan{
+			Faults: []sim.LinkFault{
+				{Switch: int32(victimLeaf), Port: tr.DownPorts(victimLeaf), DownNs: spec.LinkFaultNs},
+			},
+			SwitchFaults: []sim.SwitchFault{
+				{Switch: int32(masterLeaf), DownNs: spec.SMDownNs, UpNs: spec.SMUpNs},
+			},
+			Reselect: true,
+		}
+		if md.name == "inband" {
+			plan.InBandSM = &sim.InBandSMConfig{
+				SweepIntervalNs: spec.SweepIntervalNs,
+				TrapLossProb:    md.prob,
+			}
+		}
+		res, err := sim.Run(sim.Config{
+			Subnet:           pristine[pt/len(modes)],
+			Pattern:          traffic.Uniform{Nodes: tr.Nodes()},
+			DataVLs:          spec.DataVLs,
+			OfferedLoad:      spec.OfferedLoad,
+			WarmupNs:         spec.WarmupNs,
+			MeasureNs:        spec.MeasureNs,
+			SeriesIntervalNs: spec.SeriesIntervalNs,
+			PathSelect:       sc.sel,
+			FaultPlan:        plan,
+			Transport:        &sim.TransportConfig{BaseTimeoutNs: 5_000, MaxRetries: 3, MaxTimeoutNs: 20_000},
+			VerifyEpochs:     spec.VerifyEpochs,
+			Shards:           shards,
+			Seed:             spec.Seed + int64(mi),
+		})
+		if err != nil {
+			return SMRow{}, fmt.Errorf("experiment: sm run %s/%s p=%v: %w", sc.label, md.name, md.prob, err)
+		}
+		if err := smInvariants(sc.label, md.name, md.prob, res); err != nil {
+			return SMRow{}, err
+		}
+		row := SMRow{
+			Scheme: sc.label, Mode: md.name, TrapLossProb: md.prob,
+			TrapsSent: res.TrapsSent, TrapsLost: res.TrapsLost, TrapsDelivered: res.TrapsDelivered,
+			SMSweeps: res.SMSweeps, SweepDetections: res.SweepDetections,
+			SMPsSent: res.SMPsSent, SMPRetries: res.SMPRetries, SMPFailed: res.SMPFailed,
+			Failovers: res.Failovers, PartitionEvents: res.PartitionEvents,
+			UnreachableDegraded: res.UnreachableDegraded, Failed: res.Failed,
+			LFTUpdates: res.LFTUpdates, RecoveryNs: res.RecoveryNs,
+			Series: res.Series,
+		}
+		// Windowed accepted rates: before the link fault, during the
+		// master-SM outage, and after revival plus two sweeps of settling.
+		postFrom := spec.SMUpNs + 2*spec.SweepIntervalNs
+		end := spec.WarmupNs + spec.MeasureNs
+		row.PreAccepted = meanAccepted(res.Series, spec.WarmupNs, spec.LinkFaultNs)
+		row.OutageAccepted = meanAccepted(res.Series, spec.SMDownNs, spec.SMUpNs)
+		row.PostAccepted = meanAccepted(res.Series, postFrom, end)
+		return row, nil
+	})
 }
 
 // smInvariants enforces the per-run acceptance checks of the study.

@@ -1,0 +1,132 @@
+// Package smhotpath enforces the control-plane's incremental-repair
+// contract: the simulator's per-event SM handlers — trap intake, repair
+// recomputation, SMP transaction steps, table application — must do work
+// proportional to the *change* (the dirty switches and their delta entries),
+// never to the whole fabric. PR 10 rebuilt SM recovery around a persistent
+// core.RepairState evolved by deltas; before that, every trap cloned every
+// forwarding table and diffed the full LID space, which is O(switches x
+// LID-space) per event and was the dominant cost of chaos campaigns at
+// FT(32,2) scale. This analyzer keeps the full-table idioms from creeping
+// back into the handlers:
+//
+//   - .Clone() calls — cloning a forwarding table copies the whole LID
+//     space; the repair state already holds the evolving target, and the
+//     fabric's live tables are updated entry-by-entry from staged deltas;
+//   - .Entries() calls — exporting a table's dense backing array is how a
+//     full-table diff starts; diff by delta instead (RepairIncremental
+//     already emits exactly the entries that changed);
+//   - for-loops whose condition scans the LID space (a .Size() call or the
+//     compiled lftSize bound) — a per-event handler must iterate delta
+//     entries or dead links, never all LIDs;
+//   - ranging over a table set (.lfts / .LFTs fields) — per-switch sweeps
+//     belong in configuration and end-of-run verification, not handlers.
+//
+// Only the functions named in smHandlers are checked, and only inside
+// package sim's non-test files: configuration, verification and reporting
+// code legitimately walks whole tables. A justified exception is suppressed
+// the usual way, with a reasoned directive:
+//
+//	//lint:ignore smhotpath one-time rebuild after SM failover, not per-trap
+package smhotpath
+
+import (
+	"go/ast"
+	"strings"
+
+	"mlid/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "smhotpath",
+	Doc:  "forbid full-table clones, exports and LID-space scans in the simulator's per-event SM handlers",
+	Run:  run,
+}
+
+// smHandlers names the per-event SM functions: everything a trap, SMP, or
+// sweep tick reaches. Cold entry points that neighbor them (build, Run, the
+// fault-plan compiler) are deliberately absent.
+var smHandlers = map[string]bool{
+	// oracle SM (faults.go)
+	"smTrap": true, "smRepair": true, "applyLFTUpdate": true,
+	// in-band SM (insm.go)
+	"trapArrive": true, "inbandRepair": true,
+	"sendSMP": true, "smpArrive": true, "smpAck": true, "smpTimeout": true,
+	"applySMP": true, "smSweep": true,
+}
+
+func run(pass *analysis.Pass) error {
+	leaf := pass.Path
+	if i := strings.LastIndexByte(leaf, '/'); i >= 0 {
+		leaf = leaf[i+1:]
+	}
+	if strings.TrimSuffix(leaf, "_test") != "sim" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !smHandlers[fn.Name.Name] {
+				continue
+			}
+			checkHandler(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHandler(pass *analysis.Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || len(n.Args) != 0 {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Clone":
+				pass.Reportf(n.Pos(), "full-table Clone in SM handler %s: cloning copies the whole LID space per event; evolve the persistent repair state by delta instead", name)
+			case "Entries":
+				pass.Reportf(n.Pos(), "full-table Entries export in SM handler %s: a dense export is how an O(LID-space) diff starts; consume the repair delta instead", name)
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil && scansLIDSpace(n.Cond) {
+				pass.Reportf(n.Pos(), "LID-space scan in SM handler %s: the loop bound covers every LID; iterate the delta entries or dead links instead", name)
+			}
+		case *ast.RangeStmt:
+			if sel, ok := n.X.(*ast.SelectorExpr); ok {
+				if nm := sel.Sel.Name; nm == "lfts" || nm == "LFTs" {
+					pass.Reportf(n.Pos(), "per-switch table sweep in SM handler %s: ranging over every forwarding table is O(switches) per event; touch only the dirty switches' deltas", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scansLIDSpace reports whether a loop condition's bound is the LID space: a
+// .Size() call on a table, or the simulator's compiled lftSize bound.
+func scansLIDSpace(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Size" && len(n.Args) == 0 {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "lftSize" {
+				found = true
+			}
+		case *ast.Ident:
+			if n.Name == "lftSize" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,11 @@
+package smhotpath
+
+import (
+	"testing"
+
+	"mlid/internal/lint/linttest"
+)
+
+func TestSMHotPath(t *testing.T) {
+	linttest.Run(t, Analyzer, "sim")
+}

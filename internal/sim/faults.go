@@ -6,6 +6,7 @@ import (
 
 	"mlid/internal/core"
 	"mlid/internal/ib"
+	"mlid/internal/sm"
 	"mlid/internal/topology"
 )
 
@@ -359,10 +360,13 @@ type faultRun struct {
 	// caches. Zero until the first trap — sources react to the SM's sweep,
 	// not to the failure itself.
 	epoch uint32
-	// shadow is the SM's view of where each switch's table is heading:
-	// live tables plus all staged-but-unapplied deltas. Sweeps diff against
-	// it so overlapping traps compose. Built lazily at the first trap.
-	shadow []*ib.LFT
+	// repair is the SM's incremental view of where each switch's table is
+	// heading: the pristine configuration plus every staged-but-unapplied
+	// delta, evolved per trap by core.RepairIncremental instead of a full
+	// clone-and-rescan. Built lazily at the first trap; smDead is the dead
+	// view of the last recomputation, the memoization key.
+	repair *core.RepairState
+	smDead [][2]int32
 	staged []stagedLFTUpdate
 
 	firstDownNs  Time
@@ -589,59 +593,49 @@ func (s *Sim) smTrap() {
 }
 
 // smRepair is the SM's path recomputation, shared by the oracle and the
-// in-band model: repair the pristine configuration against deadView
-// (core.RepairSubnet), diff the result against the SM's projected view, and
-// stage one table delta per switch whose table changed. It returns the
-// indices of the newly staged updates — scheduling their application (fiat
-// event or SMP transaction) is the caller's business — and ok=false when the
-// run already failed. deadView is the SM's knowledge: ground truth for the
-// oracle, the possibly-stale trap/sweep-fed view in-band.
+// in-band model: evolve the persistent repair state to deadView and stage
+// one table delta per switch whose repair target changed. The state's
+// port→LIDs reverse index confines the work to the entries actually routed
+// through links in the symmetric difference of the old and new views
+// (core.RepairIncremental — RepairSubnet is its equivalence oracle), and the
+// staged delta IS the incremental diff, so no shadow tables are cloned or
+// rescanned per event. An unchanged dead set short-circuits entirely. It
+// returns the indices of the newly staged updates — scheduling their
+// application (fiat event or SMP transaction) is the caller's business — and
+// ok=false when the run already failed. deadView is the SM's knowledge:
+// ground truth for the oracle, the possibly-stale trap/sweep-fed view
+// in-band.
 func (s *Sim) smRepair(deadView [][2]int32) (staged []int, ok bool) {
+	fr := s.faults
+	if fr.repair == nil {
+		// One-time index build over the pristine configuration; every
+		// subsequent trap is delta work only.
+		fr.repair = core.NewRepairState(s.cfg.Subnet)
+	} else if sm.SameDeadLinks(fr.smDead, deadView) {
+		// Memoized early-exit: the repair target is a pure function of the
+		// dead set, so nothing can need staging. Callers still bump the
+		// epoch, exactly as a recomputation staging zero deltas would.
+		return nil, true
+	}
 	fs := core.NewFaultSet()
 	for _, e := range deadView {
 		fs.FailLink(s.tree, topology.SwitchID(e[0]), int(e[1]))
 	}
-	scratch := &ib.Subnet{
-		Tree:     s.tree,
-		Engine:   s.cfg.Subnet.Engine,
-		Endports: s.cfg.Subnet.Endports,
-		LFTs:     make([]*ib.LFT, len(s.cfg.Subnet.LFTs)),
-	}
-	for i, lft := range s.cfg.Subnet.LFTs {
-		scratch.LFTs[i] = lft.Clone()
-	}
-	_, broken, err := core.RepairSubnet(scratch, fs)
+	dirty := fr.repair.DirtySwitches(fr.smDead, deadView)
+	deltas, err := fr.repair.RepairIncremental(fs, dirty)
 	if err != nil {
 		s.fail(fmt.Errorf("sim: SM repair at %d ns: %w", s.now, err))
 		return nil, false
 	}
-	s.faults.lastBroken = len(broken)
-	if s.faults.shadow == nil {
-		s.faults.shadow = make([]*ib.LFT, len(s.lfts))
-		for i, lft := range s.lfts {
-			s.faults.shadow[i] = lft.Clone()
+	fr.smDead = append(fr.smDead[:0:0], deadView...)
+	fr.lastBroken = fr.repair.Broken()
+	for _, d := range deltas {
+		entries := make([]lftDelta, len(d.Entries))
+		for i, e := range d.Entries {
+			entries[i] = lftDelta{lid: e.LID, port: e.Port}
 		}
-	}
-	for sw := range s.lfts {
-		want := scratch.LFTs[sw].Entries()
-		have := s.faults.shadow[sw].Entries()
-		var delta []lftDelta
-		for lid := 1; lid < len(want) && lid < len(have); lid++ {
-			if want[lid] != have[lid] {
-				delta = append(delta, lftDelta{lid: ib.LID(lid), port: want[lid]})
-			}
-		}
-		if len(delta) == 0 {
-			continue
-		}
-		for _, d := range delta {
-			if err := s.faults.shadow[sw].Set(d.lid, d.port); err != nil {
-				s.fail(fmt.Errorf("sim: staging LFT update for switch %d: %w", sw, err))
-				return nil, false
-			}
-		}
-		idx := len(s.faults.staged)
-		s.faults.staged = append(s.faults.staged, stagedLFTUpdate{sw: int32(sw), entries: delta})
+		idx := len(fr.staged)
+		fr.staged = append(fr.staged, stagedLFTUpdate{sw: int32(d.Switch), entries: entries})
 		staged = append(staged, idx)
 	}
 	return staged, true

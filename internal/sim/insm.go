@@ -378,18 +378,18 @@ func (s *Sim) smpTimeout(idx int, gen int32) {
 }
 
 // applySMP rewrites the target switch's live table for the lids of staged
-// update idx. Unlike the oracle's applyLFTUpdate it writes the SHADOW's
-// current value per lid, not the delta recorded at staging time: the SMP
-// carries the table block as the SM now intends it, so out-of-order arrivals
-// of overlapping repairs converge on the SM's latest intent instead of
-// resurrecting a stale delta.
+// update idx. Unlike the oracle's applyLFTUpdate it writes the repair
+// state's CURRENT target value per lid, not the delta recorded at staging
+// time: the SMP carries the table block as the SM now intends it, so
+// out-of-order arrivals of overlapping repairs converge on the SM's latest
+// intent instead of resurrecting a stale delta.
 func (s *Sim) applySMP(idx int) {
 	u := s.faults.staged[idx]
 	lft := s.lfts[u.sw]
-	shadow := s.faults.shadow[u.sw]
+	target := s.faults.repair
 	fwdBase := int(u.sw) * s.lftSize
 	for _, d := range u.entries {
-		port := shadow.Port(d.lid)
+		port := target.TargetPort(topology.SwitchID(u.sw), d.lid)
 		if err := lft.Set(d.lid, port); err != nil {
 			s.fail(fmt.Errorf("sim: applying SMP to switch %d: %w", u.sw, err))
 			return

@@ -196,6 +196,17 @@ func DiffDeadLinks(known, discovered [][2]int32) (added, removed [][2]int32) {
 	return added, removed
 }
 
+// SameDeadLinks reports whether two dead-link views name the same link set,
+// order-insensitively. This is the SM's memoization test: repair targets are
+// a pure function of the dead set, so an unchanged set means the previous
+// recomputation still holds and the whole repair pass can be skipped — the
+// common case when several traps from one fault burst coalesce at the same
+// instant.
+func SameDeadLinks(a, b [][2]int32) bool {
+	added, removed := DiffDeadLinks(a, b)
+	return len(added) == 0 && len(removed) == 0
+}
+
 // Failover is the deterministic master/standby election automaton. Mastership
 // is sticky: the active SM serves while its attach point is alive, and moves
 // to the other instance only when the active one's attach point is dead and

@@ -93,6 +93,12 @@ type Options struct {
 	// MaxFindings caps findings per analyzer (excess is counted in
 	// Stats.Suppressed); zero means 64.
 	MaxFindings int
+	// Parallelism bounds the worker count of the reachability walk, whose
+	// per-leaf sources are independent (findings merge in canonical order,
+	// so the report is byte-identical at any setting). <= 1 runs serial —
+	// the right call inside the simulator's per-epoch hook, which is itself
+	// invoked from sharded runs.
+	Parallelism int
 }
 
 // fabric is the resolved view of an Input the analyzers share.
@@ -154,7 +160,7 @@ func Run(in Input, opt Options) (*Report, error) {
 	rep := &Report{}
 	rep.Stats.VLs = opt.VLs
 	f.checkAddressing(rep)
-	f.checkReachability(rep)
+	f.checkReachability(rep, opt.Parallelism)
 	f.checkDeadlock(rep, opt)
 	if !opt.SkipQuality {
 		f.checkQuality(rep, opt)

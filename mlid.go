@@ -85,6 +85,9 @@ type LID = ib.LID
 // a linear forwarding table in every switch.
 type Subnet = ib.Subnet
 
+// LFT is one switch's linear forwarding table (DLID to physical port).
+type LFT = ib.LFT
+
 // ErrLIDSpaceExhausted is returned (wrapped) by Configure when the scheme's
 // LID plan does not fit the 16-bit LID space — e.g. MLID on FT(16,3), which
 // needs 65,537 LIDs. Callers match it with errors.Is and suggest the SLID
@@ -191,6 +194,24 @@ type BrokenEntry = core.BrokenEntry
 func RepairSubnet(sn *Subnet, faults *FaultSet) (remapped int, broken []BrokenEntry, err error) {
 	return core.RepairSubnet(sn, faults)
 }
+
+// RepairEntry is one remapped forwarding entry of an incremental repair.
+type RepairEntry = core.RepairEntry
+
+// SwitchDelta is one switch's forwarding-table delta from RepairIncremental.
+type SwitchDelta = core.SwitchDelta
+
+// RepairState is the persistent incremental-repair state over one subnet: a
+// configure-time port-to-LIDs reverse index plus the current repair overlay.
+// RepairIncremental recomputes only the switches a fault-set change dirties
+// and returns the exact entry deltas, making per-event repair proportional
+// to the change rather than to the LID space — the control-plane hot path
+// the simulator's subnet managers run on.
+type RepairState = core.RepairState
+
+// NewRepairState builds incremental-repair state (including the reverse
+// index) over a configured subnet's pristine tables.
+func NewRepairState(sn *Subnet) *RepairState { return core.NewRepairState(sn) }
 
 // TraceSubnet walks the subnet's programmed forwarding tables from src for
 // the given DLID — the ground truth for repaired or modified tables.
